@@ -1,0 +1,42 @@
+"""E8 — Sec. V-C scalability: cost vs electrode count.
+
+Paper claim: Laelaps's execution time and energy are almost constant in
+the electrode count (12.5 ms @24e vs 13.0 ms @128e) while every baseline
+grows linearly — so Laelaps's advantage *widens* with denser
+implantations (1.7x -> 3.9x vs the SVM).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.report import render_table
+from repro.hw.energy import MethodCostModel, electrode_scaling
+
+COUNTS = (24, 32, 48, 64, 96, 128)
+
+
+def test_electrode_scaling(benchmark):
+    model = MethodCostModel()
+    sweep = benchmark(lambda: electrode_scaling(COUNTS, model))
+    print()
+    print(render_table(
+        ["Method"] + [f"{n}e" for n in COUNTS],
+        [[m] + [e.time_ms for e in ests] for m, ests in sweep.items()],
+        title="time per classification [ms] vs electrode count",
+        precision=1,
+    ))
+    laelaps = [e.time_ms for e in sweep["laelaps"]]
+    assert max(laelaps) / min(laelaps) < 1.1
+    for method in ("svm", "cnn", "lstm"):
+        times = [e.time_ms for e in sweep[method]]
+        assert times[-1] / times[0] > 2.0
+
+    # The advantage widens monotonically with the electrode count.
+    svm_ratio = [
+        s.time_ms / l.time_ms
+        for s, l in zip(sweep["svm"], sweep["laelaps"])
+    ]
+    assert svm_ratio == sorted(svm_ratio)
+    assert svm_ratio[0] == pytest.approx(1.7, abs=0.1)
+    assert svm_ratio[-1] == pytest.approx(3.9, abs=0.2)

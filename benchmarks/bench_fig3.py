@@ -1,0 +1,56 @@
+"""E4 — Fig. 3: mean FDR vs energy per classification, 64 electrodes.
+
+The scatter's message: Laelaps sits in the bottom-left (lowest energy
+*and* zero FDR); the SVM is the best baseline (2 orders of magnitude
+less energy than the deep-learning methods) yet Laelaps still beats it
+by ~1.9x in energy with strictly fewer false alarms.
+
+Printed with both the paper's measured mean FDRs and — when a Table I
+run is available in this invocation — the cohort FDRs measured here.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.report import render_table
+from repro.hw.energy import MethodCostModel, fig3_points
+
+
+def test_fig3(benchmark):
+    model = MethodCostModel()
+    points = benchmark(lambda: fig3_points(model=model))
+    print()
+    print(render_table(
+        ["Method", "Res", "energy[mJ]", "FDR[/h] (paper means)"],
+        [[p["method"], p["resource"], p["energy_mj"], p["fdr_per_hour"]]
+         for p in points],
+        title="Fig. 3 (reproduction), 64 electrodes",
+    ))
+    by_method = {p["method"]: p for p in points}
+    laelaps = by_method["laelaps"]
+    # Pareto dominance of Laelaps.
+    for method in ("svm", "cnn", "lstm"):
+        assert by_method[method]["energy_mj"] > laelaps["energy_mj"]
+        assert by_method[method]["fdr_per_hour"] >= laelaps["fdr_per_hour"]
+    # Sec. V-C: ~1.9x lower energy than the SVM at 64 electrodes.
+    ratio = by_method["svm"]["energy_mj"] / laelaps["energy_mj"]
+    assert 1.6 < ratio < 2.4
+
+
+def test_fig3_with_measured_fdr(benchmark, table1_result):
+    """Fig. 3 with this repository's own measured cohort FDRs."""
+    fdrs = {
+        method: table1_result.summary(method)["mean_fdr_per_hour"]
+        for method in table1_result.methods()
+    }
+    points = benchmark(lambda: fig3_points(fdr_by_method=fdrs))
+    print()
+    print(render_table(
+        ["Method", "energy[mJ]", "FDR[/h] (measured here)"],
+        [[p["method"], p["energy_mj"], p["fdr_per_hour"]] for p in points],
+        title="Fig. 3 with measured synthetic-cohort FDRs",
+    ))
+    by_method = {p["method"]: p for p in points}
+    assert by_method["laelaps"]["fdr_per_hour"] == 0.0
+    for method in ("svm", "cnn", "lstm"):
+        if method in by_method:
+            assert by_method[method]["fdr_per_hour"] >= 0.0

@@ -1,0 +1,68 @@
+"""E7 — Fig. 2 kernel structure and shared-memory sizing (Sec. V-B).
+
+Checks the GPU implementation model: grid shapes of the three kernels,
+the item memories fitting the TX2's 64 kB shared memory per SM for every
+cohort configuration, and prints the modelled kernel breakdown.
+"""
+
+from __future__ import annotations
+
+from repro.data.cohort import cohort_patient_specs
+from repro.evaluation.report import render_table
+from repro.hw.energy import MethodCostModel
+from repro.hw.kernels import laelaps_kernels
+from repro.hw.platform import MAXQ
+
+
+def test_kernel_breakdown(benchmark):
+    model = MethodCostModel()
+    total_ms, costs = benchmark(
+        lambda: model.laelaps_kernel_breakdown(128, dim=1_000)
+    )
+    print()
+    print(render_table(
+        ["Kernel", "blocks", "threads", "time[ms]", "bound"],
+        [
+            [spec.name, spec.blocks, spec.threads_per_block,
+             cost.time_ms, cost.bound]
+            for spec, cost in zip(laelaps_kernels(128, 1_000), costs)
+        ],
+        title="Fig. 2 kernels @128 electrodes, d = 1 kbit",
+        precision=4,
+    ))
+    lbp, encoding, classification = laelaps_kernels(128, 1_000)
+    assert (lbp.blocks, lbp.threads_per_block) == (128, 256)
+    assert (encoding.blocks, encoding.threads_per_block) == (32, 32)
+    assert (classification.blocks, classification.threads_per_block) == (1, 32)
+    assert total_ms > 0
+
+
+def test_shared_memory_fits_every_patient(benchmark):
+    """Sec. V-B: IM1 + IM2 fit shared memory 'even for the largest
+    model configurations considered herein'."""
+
+    def occupancy():
+        return {
+            spec.patient_id: laelaps_kernels(spec.n_electrodes, dim=1_000)[1]
+            for spec in cohort_patient_specs()
+        }
+
+    encodings = benchmark(occupancy)
+    rows = []
+    electrode_counts = {
+        s.patient_id: s.n_electrodes for s in cohort_patient_specs()
+    }
+    for pid, encoding in encodings.items():
+        fits = MAXQ.shared_mem_fits(encoding.shared_mem_bytes)
+        rows.append([
+            pid, electrode_counts[pid],
+            encoding.shared_mem_bytes / 1024, "yes" if fits else "NO",
+        ])
+        assert fits, f"{pid} overflows shared memory"
+    print()
+    print(render_table(
+        ["ID", "Elect", "IM bytes [kB]", "fits 64 kB"],
+        rows,
+        title="Item-memory shared-memory occupancy per patient",
+        precision=1,
+    ))

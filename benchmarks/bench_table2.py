@@ -1,0 +1,35 @@
+"""E3 — Table II: time and energy per classification event on the TX2.
+
+Regenerates the implementation study with the calibrated cost model.
+Target ratios (paper): at 128 electrodes SVM 3.9x / CNN 16x / LSTM 487x
+slower than Laelaps (2.9x / 16x / 464x more energy); at 24 electrodes
+1.7x / 4.2x / 113x (1.4x / 4.1x / 124x).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.report import render_table
+from repro.hw.energy import MethodCostModel, table2
+
+
+def test_table2(benchmark):
+    rows = benchmark(lambda: table2(MethodCostModel()))
+    print()
+    print(render_table(
+        ["Elect", "Method", "Res", "time[ms]", "x", "energy[mJ]", "x"],
+        [[r["electrodes"], r["method"], r["resource"], r["time_ms"],
+          r["time_ratio"], r["energy_mj"], r["energy_ratio"]] for r in rows],
+        title="Table II (reproduction)",
+        precision=1,
+    ))
+    by_key = {(r["electrodes"], r["method"]): r for r in rows}
+    assert by_key[(128, "svm")]["time_ratio"] == pytest.approx(3.9, rel=0.05)
+    assert by_key[(128, "cnn")]["time_ratio"] == pytest.approx(16.0, rel=0.05)
+    assert by_key[(128, "lstm")]["time_ratio"] == pytest.approx(487.0, rel=0.05)
+    assert by_key[(24, "svm")]["time_ratio"] == pytest.approx(1.7, rel=0.05)
+    assert by_key[(24, "cnn")]["time_ratio"] == pytest.approx(4.2, rel=0.05)
+    assert by_key[(24, "lstm")]["time_ratio"] == pytest.approx(113.0, rel=0.05)
+    assert by_key[(128, "laelaps")]["time_ms"] == pytest.approx(13.0, rel=0.01)
+    assert by_key[(24, "laelaps")]["time_ms"] == pytest.approx(12.5, rel=0.01)

@@ -1,0 +1,51 @@
+"""Shared configuration of the benchmark harness.
+
+Heavy experiment benches (Table I and its ablations) run once per
+invocation and honour two environment variables:
+
+* ``REPRO_BENCH_SCALE`` — duration-scale divisor of the synthetic
+  cohort (default 2880, i.e. one paper-hour becomes 1.25 s).  Use 720
+  for the longer runs recorded in EXPERIMENTS.md.
+* ``REPRO_BENCH_PATIENTS`` — number of cohort patients (default all 18).
+
+Every bench *prints* the table rows it reproduces; run with ``-s`` to
+see them, e.g.::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    """Duration-scale divisor for cohort benches."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "2880"))
+
+
+def bench_patients() -> int:
+    """Number of cohort patients to include."""
+    return int(os.environ.get("REPRO_BENCH_PATIENTS", "18"))
+
+
+@pytest.fixture(scope="session")
+def cohort_specs():
+    """The (possibly truncated) cohort spec list for heavy benches."""
+    from repro.data.cohort import cohort_patient_specs
+
+    return cohort_patient_specs()[: bench_patients()]
+
+
+@pytest.fixture(scope="session")
+def table1_result(cohort_specs):
+    """One full Table I run shared by the Table I bench and ablations."""
+    from repro.evaluation.table1 import default_methods, run_table1
+
+    return run_table1(
+        default_methods(dim=1_000),
+        cohort_specs,
+        hours_scale=1.0 / bench_scale(),
+    )

@@ -1,0 +1,50 @@
+"""Cohort evaluation: a reduced Table I run with all four methods.
+
+Synthesises a subset of the 18-patient cohort (first N patients, scaled
+durations), trains Laelaps and the three baselines with the paper's
+chronological protocol, and prints the per-patient delay / FDR /
+sensitivity table plus the cohort means.
+
+Run:  python examples/cohort_evaluation.py [n_patients] [scale_divisor]
+
+The full Table I reproduction lives in ``benchmarks/bench_table1.py`` and
+``repro-laelaps table1``; this example keeps the runtime to ~1 minute.
+"""
+
+import sys
+import time
+
+from repro.data.cohort import cohort_patient_specs
+from repro.evaluation.table1 import default_methods, run_table1
+
+
+def main() -> int:
+    n_patients = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 2880.0
+
+    specs = cohort_patient_specs()[:n_patients]
+    print(f"=== Table I (reduced): {n_patients} patients, "
+          f"duration scale 1/{scale:.0f} ===")
+    methods = default_methods(dim=1_000)
+
+    start = time.time()
+    result = run_table1(
+        methods, specs, hours_scale=1.0 / scale, progress=print
+    )
+    print()
+    print(result.render())
+    print(f"\ncohort alpha (t_r confidence compensation): {result.alpha:.1f}")
+    for method in result.methods():
+        summary = result.summary(method)
+        print(
+            f"{method:>8}: {summary['detected']:.0f}/"
+            f"{summary['test_seizures']:.0f} seizures detected, "
+            f"{summary['false_alarms']:.0f} false alarms over "
+            f"{summary['interictal_hours']:.2f} interictal hours"
+        )
+    print(f"[wall time {time.time() - start:.0f} s]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

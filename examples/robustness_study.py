@@ -1,0 +1,87 @@
+"""Robustness study: detection under electrode failures.
+
+A detector implanted for years must tolerate hardware degradation.
+This study trains one patient model, then sweeps the number of *dead*
+electrodes (flatlined after training) and measures whether the unseen
+seizure is still detected — probing the graceful degradation of the
+holographic representation: every electrode contributes one vector to a
+majority bundle, so losing a few contacts perturbs, rather than breaks,
+the H vectors.
+
+Run:  python examples/robustness_study.py
+"""
+
+import numpy as np
+
+from repro import LaelapsConfig, LaelapsDetector
+from repro.core.training import TrainingSegments
+from repro.data.failures import inject_artifact_bursts, kill_electrodes
+from repro.data.synthetic import (
+    SeizurePlan,
+    SynthesisParams,
+    SyntheticIEEGGenerator,
+)
+
+
+def main() -> int:
+    fs = 256.0
+    n_electrodes = 32
+    generator = SyntheticIEEGGenerator(
+        n_electrodes, SynthesisParams(fs=fs), seed=19
+    )
+    recording = generator.generate(
+        300.0, [SeizurePlan(100.0, 25.0), SeizurePlan(220.0, 25.0)]
+    )
+    detector = LaelapsDetector(
+        n_electrodes, LaelapsConfig(dim=2_000, fs=fs, seed=4)
+    )
+    detector.fit(
+        recording.data,
+        TrainingSegments(ictal=((100.0, 125.0),), interictal=(40.0, 70.0)),
+    )
+    detector.tune_tr(recording.data[: int(135 * fs)], [(100.0, 125.0)])
+    second = recording.seizures[1]
+
+    def detected(rec) -> bool:
+        result = detector.detect(rec.data)
+        return bool(np.any(
+            (result.alarm_times >= second.onset_s)
+            & (result.alarm_times <= second.offset_s + 5.0)
+        ))
+
+    print("=== dead-electrode sweep (flatlined after training) ===")
+    rng = np.random.default_rng(0)
+    print(f"{'dead':>6}  {'fraction':>9}  detected")
+    last_ok = 0
+    for n_dead in [0, 2, 4, 8, 12, 16, 20, 24]:
+        dead = rng.choice(n_electrodes, size=n_dead, replace=False)
+        degraded = kill_electrodes(recording, dead, from_s=150.0)
+        ok = detected(degraded)
+        if ok:
+            last_ok = n_dead
+        print(f"{n_dead:>6}  {n_dead / n_electrodes:>8.0%}  {ok}")
+    print(f"-> detection survives up to ~{last_ok}/{n_electrodes} dead contacts")
+
+    print("\n=== artefact-burst stress (broadband, 0.5-3 s) ===")
+    for rate in [0.0, 60.0, 240.0, 960.0]:
+        stressed = inject_artifact_bursts(
+            recording, rate_per_hour=rate, amplitude=6.0, seed=2
+        )
+        result = detector.detect(stressed.data)
+        false_alarms = [
+            t for t in result.alarm_times
+            if not any(
+                s.onset_s - 1 <= t <= s.offset_s + 5
+                for s in recording.seizures
+            )
+        ]
+        print(f"rate {rate:6.0f}/h: detected={detected(stressed)}, "
+              f"false alarms={len(false_alarms)}")
+    print("\nshort bursts cannot satisfy ten consecutive ictal labels, so "
+          "the t_c vote absorbs them — the mechanism behind the paper's "
+          "zero-false-alarm operation")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+``pip install -e .`` needs the ``wheel`` package for PEP 517 editable
+builds; fully offline environments that lack it can fall back to
+``python setup.py develop``.  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

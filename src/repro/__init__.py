@@ -1,0 +1,62 @@
+"""Reproduction of *Laelaps* (Burrello et al., DATE 2019).
+
+Laelaps is an energy-efficient epileptic-seizure detector for long-term
+intracranial EEG (iEEG).  It symbolises each electrode's signal into 6-bit
+local binary patterns (LBP), fuses the per-sample symbols of all electrodes
+into a single d-bit hypervector with hyperdimensional (HD) computing,
+classifies every half second against two prototype hypervectors held in an
+associative memory, and turns the label/confidence stream into alarms with a
+small voting postprocessor.
+
+The package is organised as independent substrates (see ``DESIGN.md``):
+
+``repro.signal``
+    Filtering, decimation and windowing of raw iEEG.
+``repro.lbp``
+    Local-binary-pattern symbolisation and symbol statistics.
+``repro.hdc``
+    Binary hypervector backends, item memories, HD arithmetic, the
+    spatial/temporal encoders and the associative memory.
+``repro.core``
+    The Laelaps detector itself: training, inference, postprocessing and
+    per-patient dimension tuning.
+``repro.data``
+    Synthetic long-term iEEG generation and the 18-patient evaluation
+    cohort mirroring Table I of the paper.
+``repro.nn``
+    A small from-scratch neural-network framework (needed for the CNN and
+    LSTM baselines).
+``repro.baselines``
+    The three state-of-the-art comparators: LBP+SVM, STFT+CNN and LSTM.
+``repro.evaluation``
+    Metrics (sensitivity, false-detection rate, onset delay), the
+    chronological train/test protocol and the Table I harness.
+``repro.hw``
+    An analytic Tegra X2 performance/energy model reproducing Table II and
+    Fig. 3.
+"""
+
+from repro.core.config import LaelapsConfig
+from repro.core.detector import LaelapsDetector
+from repro.data.cohort import build_cohort, cohort_patient_specs
+from repro.data.model import Cohort, Patient, Recording, SeizureEvent
+from repro.data.synthetic import SyntheticIEEGGenerator
+from repro.evaluation.metrics import DetectionMetrics
+from repro.evaluation.runner import evaluate_detector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LaelapsConfig",
+    "LaelapsDetector",
+    "SyntheticIEEGGenerator",
+    "Cohort",
+    "Patient",
+    "Recording",
+    "SeizureEvent",
+    "DetectionMetrics",
+    "build_cohort",
+    "cohort_patient_specs",
+    "evaluate_detector",
+    "__version__",
+]

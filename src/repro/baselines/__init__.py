@@ -1,0 +1,34 @@
+"""State-of-the-art comparator methods of Table I.
+
+Three baselines, re-implemented from scratch (no sklearn/Keras in this
+environment) and trained with exactly the same protocol as Laelaps
+(1-2 seizures + 30 s interictal, t_c voting, t_r = 0):
+
+* :class:`repro.baselines.svm.LbpSvmDetector` — per-electrode LBP-code
+  histograms + linear SVM [Jaiswal et al. 2017];
+* :class:`repro.baselines.cnn.StftCnnDetector` — short-time Fourier
+  transform + small CNN [Truong et al. 2018];
+* :class:`repro.baselines.lstm.LstmDetector` — recurrent network on raw
+  window statistics [Hussein et al. 2018].
+"""
+
+from repro.baselines.base import WindowedDetector
+from repro.baselines.cnn import StftCnnDetector
+from repro.baselines.features import (
+    window_lbp_histograms,
+    window_sequences,
+    window_stft,
+)
+from repro.baselines.lstm import LstmDetector
+from repro.baselines.svm import LbpSvmDetector, LinearSVM
+
+__all__ = [
+    "WindowedDetector",
+    "LbpSvmDetector",
+    "LinearSVM",
+    "StftCnnDetector",
+    "LstmDetector",
+    "window_lbp_histograms",
+    "window_stft",
+    "window_sequences",
+]

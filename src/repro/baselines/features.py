@@ -1,0 +1,130 @@
+"""Window feature extractors shared by the baseline detectors.
+
+All extractors use the same window geometry as Laelaps (1 s windows, 0.5 s
+hop) so every method labels the same instants and the postprocessor/
+metrics apply uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sps
+
+from repro.lbp.codes import lbp_codes_multichannel
+from repro.lbp.histogram import sliding_histograms
+from repro.signal.windows import WindowSpec, window_view
+
+#: STFT geometry: 30-sample segments with 50 % overlap on a 256-sample
+#: window give a 16 x 16 log-magnitude image regardless of electrode count.
+_STFT_NPERSEG = 30
+_STFT_HOP = 15
+_STFT_RESAMPLED = 256
+
+
+def window_lbp_histograms(
+    signal: np.ndarray,
+    fs: float,
+    window_s: float = 1.0,
+    step_s: float = 0.5,
+    lbp_length: int = 6,
+) -> np.ndarray:
+    """Per-window concatenated per-electrode LBP histograms.
+
+    This is the feature vector of the LBP+SVM baseline: each analysis
+    window becomes ``n_electrodes * 2**lbp_length`` normalised bin values.
+
+    Returns:
+        float64 array ``(n_windows, n_electrodes * alphabet)``.
+    """
+    arr = np.asarray(signal)
+    codes = lbp_codes_multichannel(arr, lbp_length)
+    spec = WindowSpec.from_seconds(window_s, step_s, fs)
+    hists = sliding_histograms(
+        codes, 1 << lbp_length, spec, normalise=True
+    )
+    return hists.reshape(hists.shape[0], -1)
+
+
+def _hann(n: int) -> np.ndarray:
+    return 0.5 - 0.5 * np.cos(2 * np.pi * np.arange(n) / n)
+
+
+def _stft_image(window: np.ndarray) -> np.ndarray:
+    """16 x 16 log-magnitude STFT of a 1-D window of 256 samples."""
+    taper = _hann(_STFT_NPERSEG)
+    frames = np.lib.stride_tricks.sliding_window_view(window, _STFT_NPERSEG)
+    frames = frames[::_STFT_HOP][:16]
+    spectrum = np.abs(np.fft.rfft(frames * taper, axis=1))  # (16, 16)
+    return np.log1p(spectrum).T  # (freq, time)
+
+
+def window_stft(
+    signal: np.ndarray,
+    fs: float,
+    window_s: float = 1.0,
+    step_s: float = 0.5,
+) -> np.ndarray:
+    """Per-window STFT images of the electrode-averaged signal.
+
+    Each 1 s window is resampled to 256 samples (so the image geometry is
+    sampling-rate independent) and transformed into a 16 x 16
+    log-magnitude spectrogram, the input of the CNN baseline.
+
+    Returns:
+        float64 array ``(n_windows, 1, 16, 16)``.
+    """
+    arr = np.asarray(signal, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"expected (n_samples, n_electrodes), got {arr.shape}")
+    mean_channel = arr.mean(axis=1)
+    spec = WindowSpec.from_seconds(window_s, step_s, fs)
+    windows = window_view(mean_channel, spec)  # (n_win, window)
+    n_win = windows.shape[0]
+    out = np.empty((n_win, 1, 16, 16))
+    for i in range(n_win):
+        w = windows[i]
+        if w.shape[0] != _STFT_RESAMPLED:
+            w = sps.resample(w, _STFT_RESAMPLED)
+        out[i, 0] = _stft_image(w)
+    return out
+
+
+def window_sequences(
+    signal: np.ndarray,
+    fs: float,
+    window_s: float = 1.0,
+    step_s: float = 0.5,
+    n_steps: int = 32,
+) -> np.ndarray:
+    """Per-window multivariate sequences for the LSTM baseline.
+
+    Each window is split into ``n_steps`` equal blocks; every step carries
+    three channel-aggregate features: mean of the channel-averaged signal,
+    its within-block standard deviation, and the mean across channels of
+    the per-channel block standard deviation (an amplitude/synchrony
+    summary).
+
+    Returns:
+        float64 array ``(n_windows, n_steps, 3)``.
+    """
+    arr = np.asarray(signal, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"expected (n_samples, n_electrodes), got {arr.shape}")
+    spec = WindowSpec.from_seconds(window_s, step_s, fs)
+    windows = window_view(arr, spec)  # (n_win, window, n_elec)
+    n_win, window_samples, _ = windows.shape
+    if n_win == 0:
+        return np.zeros((0, n_steps, 3))
+    block = window_samples // n_steps
+    if block < 1:
+        raise ValueError(
+            f"window of {window_samples} samples cannot be split into "
+            f"{n_steps} steps"
+        )
+    trimmed = windows[:, : block * n_steps]
+    blocks = trimmed.reshape(n_win, n_steps, block, -1)
+    mean_channel = blocks.mean(axis=3)  # (n_win, steps, block)
+    feat_mean = mean_channel.mean(axis=2)
+    feat_std = mean_channel.std(axis=2)
+    feat_spread = blocks.std(axis=2).mean(axis=2)
+    return np.stack([feat_mean, feat_std, feat_spread], axis=2)

@@ -1,0 +1,85 @@
+"""LSTM baseline [Hussein et al. 2018].
+
+A single-layer LSTM over per-window multivariate sequences (32 steps of
+channel-aggregate statistics), followed by a linear read-out of the final
+hidden state.  Trained with Adam on softmax cross-entropy, full batch
+(the protocol provides only tens of training windows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import WindowedDetector
+from repro.baselines.features import window_sequences
+from repro.nn import LSTM, Adam, Linear, softmax_cross_entropy
+
+
+class LstmDetector(WindowedDetector):
+    """The LSTM seizure detector of Table I.
+
+    Args:
+        n_electrodes: Electrode count.
+        fs: Sampling rate.
+        hidden_size: LSTM state width.
+        n_steps: Sequence steps per window.
+        epochs: Full-batch training epochs.
+        lr: Adam learning rate.
+        seed: Determinism seed.
+    """
+
+    def __init__(
+        self,
+        n_electrodes: int,
+        fs: float,
+        hidden_size: int = 24,
+        n_steps: int = 32,
+        epochs: int = 200,
+        lr: float = 5e-3,
+        seed: int = 0,
+        window_s: float = 1.0,
+        step_s: float = 0.5,
+    ) -> None:
+        super().__init__(n_electrodes, fs, window_s, step_s, seed)
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        self.hidden_size = hidden_size
+        self.n_steps = n_steps
+        self.epochs = epochs
+        self.lr = lr
+        self.lstm = LSTM(3, hidden_size, seed=seed + 21)
+        self.head = Linear(hidden_size, 2, seed=seed + 22)
+        self.training_losses: list[float] = []
+
+    def _features(self, signal: np.ndarray) -> np.ndarray:
+        return window_sequences(
+            signal, self.fs, self.window_s, self.step_s, self.n_steps
+        )
+
+    def _forward(self, sequences: np.ndarray) -> np.ndarray:
+        hidden = self.lstm.forward(sequences)
+        return self.head.forward(hidden)
+
+    def _backward(self, grad_logits: np.ndarray) -> None:
+        grad_hidden = self.head.backward(grad_logits)
+        self.lstm.backward(grad_hidden)
+
+    def _train(self, features: np.ndarray, labels: np.ndarray) -> None:
+        params = self.lstm.parameters() + self.head.parameters()
+        optimizer = Adam(params, lr=self.lr)
+        self.training_losses = []
+        for _ in range(self.epochs):
+            optimizer.zero_grad()
+            logits = self._forward(features)
+            loss, grad = softmax_cross_entropy(logits, labels)
+            self._backward(grad)
+            optimizer.step()
+            self.training_losses.append(loss)
+
+    def _scores(self, features: np.ndarray) -> np.ndarray:
+        scores = np.empty(features.shape[0])
+        batch = 2048
+        for start in range(0, features.shape[0], batch):
+            logits = self._forward(features[start : start + batch])
+            scores[start : start + batch] = logits[:, 1] - logits[:, 0]
+        return scores

@@ -1,0 +1,151 @@
+"""Command-line interface: regenerate every paper artefact.
+
+Usage::
+
+    repro-laelaps table1 [--scale 720] [--methods laelaps,svm]
+    repro-laelaps table2
+    repro-laelaps fig3
+    repro-laelaps scaling
+
+(or ``python -m repro ...``).  Each sub-command prints the corresponding
+table of the paper; see EXPERIMENTS.md for the recorded runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.evaluation.report import render_table
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.evaluation.table1 import default_methods, run_table1
+
+    include = tuple(args.methods.split(","))
+    methods = default_methods(dim=args.dim, include=include)
+    start = time.time()
+    result = run_table1(
+        methods,
+        hours_scale=1.0 / args.scale,
+        fs=args.fs,
+        progress=print if args.verbose else None,
+    )
+    print(result.render())
+    print()
+    for method in result.methods():
+        summary = result.summary(method)
+        print(
+            f"{method:>8}: detected {summary['detected']:.0f}/"
+            f"{summary['test_seizures']:.0f}, "
+            f"mean FDR {summary['mean_fdr_per_hour']:.2f}/h, "
+            f"mean sensitivity {100 * summary['mean_sensitivity']:.1f} %, "
+            f"mean delay {summary['mean_delay_s']:.1f} s"
+        )
+    print(f"\n[total wall time {time.time() - start:.0f} s, "
+          f"duration scale 1/{args.scale:.0f}, fs {args.fs:.0f} Hz]")
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.hw.energy import table2
+
+    rows = table2()
+    table = render_table(
+        ["Elect", "Method", "Res", "time[ms]", "(x)", "energy[mJ]", "(x)"],
+        [
+            [
+                r["electrodes"], r["method"], r["resource"],
+                r["time_ms"], r["time_ratio"], r["energy_mj"],
+                r["energy_ratio"],
+            ]
+            for r in rows
+        ],
+        title="Table II (reproduction): cost per 0.5 s classification event",
+        precision=1,
+    )
+    print(table)
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    from repro.hw.energy import fig3_points
+
+    points = fig3_points(n_electrodes=args.electrodes)
+    table = render_table(
+        ["Method", "Res", "energy[mJ]", "FDR[/h]"],
+        [
+            [p["method"], p["resource"], p["energy_mj"], p["fdr_per_hour"]]
+            for p in points
+        ],
+        title=(
+            "Fig. 3 (reproduction): FDR vs energy per classification, "
+            f"{args.electrodes} electrodes (paper FDR means)"
+        ),
+    )
+    print(table)
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.hw.energy import electrode_scaling
+
+    sweep = electrode_scaling()
+    counts = [e.n_electrodes for e in next(iter(sweep.values()))]
+    rows = []
+    for method, estimates in sweep.items():
+        rows.append(
+            [method] + [e.time_ms for e in estimates]
+        )
+    table = render_table(
+        ["Method"] + [f"{n}e [ms]" for n in counts],
+        rows,
+        title="Sec. V-C scaling: time per classification vs electrode count",
+        precision=1,
+    )
+    print(table)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro-laelaps``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-laelaps",
+        description="Regenerate the tables and figures of the Laelaps paper",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p1 = sub.add_parser("table1", help="per-patient detection results")
+    p1.add_argument("--scale", type=float, default=720.0,
+                    help="duration scale divisor (default 720: 1 h -> 5 s)")
+    p1.add_argument("--fs", type=float, default=256.0)
+    p1.add_argument("--dim", type=int, default=1_000)
+    p1.add_argument("--methods", default="laelaps,svm,cnn,lstm")
+    p1.add_argument("--verbose", action="store_true")
+    p1.set_defaults(func=_cmd_table1)
+
+    p2 = sub.add_parser("table2", help="TX2 time/energy per classification")
+    p2.set_defaults(func=_cmd_table2)
+
+    p3 = sub.add_parser("fig3", help="FDR vs energy scatter (64 electrodes)")
+    p3.add_argument("--electrodes", type=int, default=64)
+    p3.set_defaults(func=_cmd_fig3)
+
+    p4 = sub.add_parser("scaling", help="electrode-count scaling sweep")
+    p4.set_defaults(func=_cmd_scaling)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a closed reader (e.g. `... | head`); the
+        # conventional CLI response is a quiet exit.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

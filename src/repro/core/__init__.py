@@ -1,0 +1,55 @@
+"""Laelaps core: the paper's primary contribution.
+
+Combines the LBP symbolisation (``repro.lbp``) with the HD encoders and
+associative memory (``repro.hdc``) into a patient-specific detector that
+is trained from one or two seizures plus 30 s of interictal signal, emits
+a label and a confidence score every 0.5 s, and converts those into alarms
+with the t_c / t_r voting postprocessor of Sec. III-C.
+"""
+
+from repro.core.config import INTERICTAL, ICTAL, LaelapsConfig
+from repro.core.detector import LaelapsDetector, WindowPredictions
+from repro.core.postprocess import (
+    PostprocessConfig,
+    Postprocessor,
+    alarm_flags,
+    delta_scores,
+    tune_tr,
+)
+from repro.core.persistence import load_model, save_model
+from repro.core.streaming import StreamEvent, StreamingLaelaps
+from repro.core.symbolizers import HVGSymbolizer, LBPSymbolizer
+from repro.core.training import (
+    FitReport,
+    TrainingSegments,
+    segment_slice,
+    window_decision_times,
+    windows_in_segments,
+)
+from repro.core.tuning import DimensionTuningResult, tune_dimension
+
+__all__ = [
+    "INTERICTAL",
+    "ICTAL",
+    "LaelapsConfig",
+    "LaelapsDetector",
+    "WindowPredictions",
+    "PostprocessConfig",
+    "Postprocessor",
+    "alarm_flags",
+    "delta_scores",
+    "tune_tr",
+    "save_model",
+    "load_model",
+    "LBPSymbolizer",
+    "HVGSymbolizer",
+    "StreamEvent",
+    "StreamingLaelaps",
+    "FitReport",
+    "TrainingSegments",
+    "segment_slice",
+    "window_decision_times",
+    "windows_in_segments",
+    "DimensionTuningResult",
+    "tune_dimension",
+]

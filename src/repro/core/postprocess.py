@@ -1,0 +1,217 @@
+"""Label postprocessing: delta scores, t_c / t_r voting, t_r tuning.
+
+Sec. III-C of the paper: every 0.5 s the classifier emits a label and the
+score ``delta = |eta(H, P1) - eta(H, P2)|`` (the gap between the two
+prototype distances, a confidence proxy).  A postprocessing window slides
+over the last 10 labels; an alarm is flagged only when
+
+* at least ``t_c`` of those labels are ictal (the paper uses t_c = 10,
+  i.e. ten consecutive ictal labels), and
+* the mean delta of those ictal labels exceeds ``t_r``.
+
+``t_c`` is global; ``t_r`` is tuned per patient on the training tail with
+the rule implemented in :func:`tune_tr`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import ICTAL
+
+
+def delta_scores(distances: np.ndarray) -> np.ndarray:
+    """Confidence score per window: |eta(H, P1) - eta(H, P2)|.
+
+    Args:
+        distances: int array ``(n_windows, 2)`` of Hamming distances to
+            the interictal and ictal prototypes.
+
+    Returns:
+        float64 array ``(n_windows,)``.
+    """
+    arr = np.asarray(distances)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"expected (n_windows, 2) distances, got {arr.shape}")
+    return np.abs(arr[:, 0].astype(np.float64) - arr[:, 1].astype(np.float64))
+
+
+def _sliding_sum(values: np.ndarray, width: int) -> np.ndarray:
+    """Sum of each trailing window of ``width`` values; shape preserved.
+
+    Entry ``i`` sums ``values[max(0, i - width + 1) : i + 1]`` — windows at
+    the start are truncated, which matters only for the first
+    ``width - 1`` labels of a recording.
+    """
+    csum = np.concatenate([[0.0], np.cumsum(values, dtype=np.float64)])
+    idx = np.arange(len(values)) + 1
+    lo = np.maximum(idx - width, 0)
+    return csum[idx] - csum[lo]
+
+
+def alarm_flags(
+    labels: np.ndarray,
+    deltas: np.ndarray,
+    postprocess_len: int = 10,
+    tc: int = 10,
+    tr: float = 0.0,
+) -> np.ndarray:
+    """Per-window alarm condition of Sec. III-C.
+
+    Args:
+        labels: int array ``(n_windows,)`` of classifier labels.
+        deltas: float array ``(n_windows,)`` of delta scores.
+        postprocess_len: Voting-window length in labels.
+        tc: Minimum ictal-label count inside the voting window.
+        tr: Threshold the mean delta of the ictal labels must *exceed*.
+
+    Returns:
+        bool array ``(n_windows,)``: True where the alarm condition holds.
+    """
+    labels_arr = np.asarray(labels)
+    deltas_arr = np.asarray(deltas, dtype=np.float64)
+    if labels_arr.shape != deltas_arr.shape or labels_arr.ndim != 1:
+        raise ValueError(
+            f"labels {labels_arr.shape} and deltas {deltas_arr.shape} "
+            "must be equal-length 1-D arrays"
+        )
+    if not 1 <= tc <= postprocess_len:
+        raise ValueError(f"need 1 <= tc <= postprocess_len, got tc={tc}")
+    ictal = (labels_arr == ICTAL).astype(np.float64)
+    ictal_counts = _sliding_sum(ictal, postprocess_len)
+    ictal_delta_sums = _sliding_sum(ictal * deltas_arr, postprocess_len)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        mean_delta = np.where(
+            ictal_counts > 0, ictal_delta_sums / ictal_counts, 0.0
+        )
+    return (ictal_counts >= tc) & (mean_delta > tr)
+
+
+def flags_to_onsets(flags: np.ndarray) -> np.ndarray:
+    """Indices where the alarm condition newly becomes true (rising edges)."""
+    arr = np.asarray(flags, dtype=bool)
+    if arr.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    rising = np.flatnonzero(arr & ~np.concatenate([[False], arr[:-1]]))
+    return rising.astype(np.int64)
+
+
+@dataclass(frozen=True)
+class PostprocessConfig:
+    """Postprocessor parameters (see :func:`alarm_flags`)."""
+
+    postprocess_len: int = 10
+    tc: int = 10
+    tr: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.tc <= self.postprocess_len:
+            raise ValueError(
+                f"need 1 <= tc <= postprocess_len, got tc={self.tc}, "
+                f"len={self.postprocess_len}"
+            )
+        if self.tr < 0:
+            raise ValueError(f"tr must be >= 0, got {self.tr}")
+
+
+class Postprocessor:
+    """Stateful wrapper turning label/delta streams into alarm onsets."""
+
+    def __init__(self, config: PostprocessConfig | None = None) -> None:
+        self.config = config or PostprocessConfig()
+
+    def flags(self, labels: np.ndarray, deltas: np.ndarray) -> np.ndarray:
+        """Alarm condition per window (see :func:`alarm_flags`)."""
+        cfg = self.config
+        return alarm_flags(
+            labels, deltas, cfg.postprocess_len, cfg.tc, cfg.tr
+        )
+
+    def onsets(self, labels: np.ndarray, deltas: np.ndarray) -> np.ndarray:
+        """Window indices of alarm onsets (rising edges of the condition)."""
+        return flags_to_onsets(self.flags(labels, deltas))
+
+
+def tune_tr(
+    labels: np.ndarray,
+    deltas: np.ndarray,
+    ictal_truth: np.ndarray,
+    alpha: float = 0.0,
+    postprocess_len: int = 10,
+    tc: int = 10,
+) -> float:
+    """Patient-specific t_r tuning rule of Sec. III-C.
+
+    Run on the *training* tail (everything up to the end of the training
+    set that was not used to build the prototypes is fair game):
+
+    * If the hard t_c filter alone produces no false alarm on the
+      interictal part, set ``t_r = min(delta_ictal)`` — maximally robust
+      without touching sensitivity.
+    * Otherwise set ``t_r`` to the highest integer multiple of
+      ``max(delta_interictal)`` that stays below
+      ``max(delta_ictal) - alpha``, where ``alpha`` compensates for the
+      classifier's higher confidence on the samples it was trained on.
+
+    Degenerate cases (documented choices, not in the paper):
+
+    * no ictal windows in the tuning data -> return 0 (nothing to tune);
+    * no valid multiple exists -> return ``max(delta_interictal)``,
+      prioritising the paper's headline goal of zero false alarms.
+
+    Args:
+        labels: Classifier labels over the tuning stream.
+        deltas: Delta scores over the tuning stream.
+        ictal_truth: Boolean ground-truth mask (True inside seizures).
+        alpha: The confidence-compensation term; computed across patients
+            by :func:`alpha_from_cohort`.
+        postprocess_len: Voting window length.
+        tc: Hard label-count threshold.
+
+    Returns:
+        The tuned ``t_r`` value (float, >= 0).
+    """
+    labels_arr = np.asarray(labels)
+    deltas_arr = np.asarray(deltas, dtype=np.float64)
+    truth = np.asarray(ictal_truth, dtype=bool)
+    if not labels_arr.shape == deltas_arr.shape == truth.shape:
+        raise ValueError("labels, deltas and ictal_truth must align")
+    ictal_deltas = deltas_arr[truth]
+    if ictal_deltas.size == 0:
+        return 0.0
+    flags = alarm_flags(labels_arr, deltas_arr, postprocess_len, tc, tr=0.0)
+    false_alarm = bool(np.any(flags & ~truth))
+    if not false_alarm:
+        return float(ictal_deltas.min())
+    interictal_deltas = deltas_arr[~truth]
+    max_inter = float(interictal_deltas.max()) if interictal_deltas.size else 0.0
+    if max_inter <= 0.0:
+        return float(ictal_deltas.min())
+    bound = float(ictal_deltas.max()) - alpha
+    multiples = int(np.ceil(bound / max_inter)) - 1  # highest k with k*m < bound
+    if multiples < 1:
+        return max_inter
+    return multiples * max_inter
+
+
+def alpha_from_cohort(
+    trained_vs_heldout: list[tuple[float, float]]
+) -> float:
+    """Compute the alpha compensation term across patients.
+
+    Args:
+        trained_vs_heldout: Per-patient pairs ``(mean delta_ictal on the
+            windows used to train the prototypes, mean delta_ictal on the
+            remaining training-set ictal windows)``.
+
+    Returns:
+        The mean difference across patients (clipped at 0: a classifier
+        cannot be *less* confident on its own training samples in a way
+        that should loosen the threshold).
+    """
+    if not trained_vs_heldout:
+        return 0.0
+    diffs = [trained - heldout for trained, heldout in trained_vs_heldout]
+    return max(0.0, float(np.mean(diffs)))

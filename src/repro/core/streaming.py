@@ -1,0 +1,148 @@
+"""Online (streaming) inference for a fitted Laelaps detector.
+
+The GPU implementation of Sec. V processes one 0.5 s step at a time; this
+module provides the same incremental dataflow in pure Python: raw samples
+are pushed in arbitrary chunks, LBP codes continue seamlessly across
+chunk boundaries, the temporal encoder emits an H vector per completed
+0.5 s block, and the postprocessor votes over a rolling window of the
+last ten labels.  Memory use is O(d) regardless of stream length.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import ICTAL
+from repro.core.detector import LaelapsDetector
+from repro.core.postprocess import delta_scores
+from repro.hdc.temporal import TemporalEncoder
+from repro.lbp.codes import lbp_codes_multichannel
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One classified analysis window from the stream.
+
+    Attributes:
+        time_s: Decision time of the window (stream time).
+        label: INTERICTAL/ICTAL classifier label.
+        delta: Confidence score |d0 - d1|.
+        alarm: True when this window *newly* satisfies the alarm
+            condition (rising edge of the t_c / t_r vote).
+    """
+
+    time_s: float
+    label: int
+    delta: float
+    alarm: bool
+
+
+class StreamingLaelaps:
+    """Incremental wrapper around a fitted :class:`LaelapsDetector`.
+
+    Args:
+        detector: A fitted detector (prototypes stored, t_r set).
+
+    Push raw sample chunks with :meth:`push`; each call returns the
+    stream events whose windows completed inside that chunk.
+    """
+
+    def __init__(self, detector: LaelapsDetector) -> None:
+        from repro.core.symbolizers import LBPSymbolizer
+
+        if not detector.is_fitted:
+            raise ValueError("detector must be fitted before streaming")
+        if not isinstance(detector.symbolizer, LBPSymbolizer):
+            raise ValueError(
+                "streaming supports the LBP symboliser only (its margin "
+                "semantics drive the chunk-boundary continuation)"
+            )
+        self.detector = detector
+        cfg = detector.config
+        self._encoder = TemporalEncoder(detector.spatial, cfg.window_spec)
+        self._raw_tail = np.zeros((0, detector.n_electrodes), dtype=np.float64)
+        self._labels: deque[int] = deque(maxlen=cfg.postprocess_len)
+        self._deltas: deque[float] = deque(maxlen=cfg.postprocess_len)
+        self._samples_seen = 0
+        self._windows_emitted = 0
+        self._alarm_active = False
+
+    @property
+    def samples_seen(self) -> int:
+        """Raw samples consumed so far."""
+        return self._samples_seen
+
+    @property
+    def windows_emitted(self) -> int:
+        """Analysis windows classified so far."""
+        return self._windows_emitted
+
+    def _alarm_condition(self) -> bool:
+        cfg = self.detector.config
+        if len(self._labels) < cfg.postprocess_len:
+            return False
+        ictal = [i for i, lab in enumerate(self._labels) if lab == ICTAL]
+        if len(ictal) < cfg.tc:
+            return False
+        mean_delta = float(np.mean([self._deltas[i] for i in ictal]))
+        return mean_delta > self.detector.tr
+
+    def push(self, chunk: np.ndarray) -> list[StreamEvent]:
+        """Consume a chunk of raw samples; return completed windows.
+
+        Args:
+            chunk: Array ``(n_samples, n_electrodes)`` continuing the
+                stream (any chunk size, including smaller than a block).
+        """
+        arr = np.asarray(chunk, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != self.detector.n_electrodes:
+            raise ValueError(
+                f"expected (n, {self.detector.n_electrodes}), got {arr.shape}"
+            )
+        cfg = self.detector.config
+        self._samples_seen += arr.shape[0]
+        joined = np.concatenate([self._raw_tail, arr], axis=0)
+        length = cfg.lbp_length
+        if joined.shape[0] <= length:
+            self._raw_tail = joined
+            return []
+        codes = lbp_codes_multichannel(joined, length)
+        # Keep the raw samples whose codes are not yet computable.
+        self._raw_tail = joined[-length:].copy()
+        h_vectors = self._encoder.feed(codes)
+        events: list[StreamEvent] = []
+        if h_vectors.shape[0] == 0:
+            return events
+        preds = self.detector.predict_from_windows(h_vectors)
+        for k in range(h_vectors.shape[0]):
+            self._labels.append(int(preds.labels[k]))
+            self._deltas.append(float(preds.deltas[k]))
+            index = self._windows_emitted
+            self._windows_emitted += 1
+            time_s = (
+                index * cfg.window_spec.step_samples
+                + cfg.window_spec.window_samples
+                + length
+            ) / cfg.fs
+            condition = self._alarm_condition()
+            rising = condition and not self._alarm_active
+            self._alarm_active = condition
+            events.append(
+                StreamEvent(
+                    time_s=time_s,
+                    label=int(preds.labels[k]),
+                    delta=float(preds.deltas[k]),
+                    alarm=rising,
+                )
+            )
+        return events
+
+    def run(self, signal: np.ndarray, chunk_samples: int) -> list[StreamEvent]:
+        """Convenience: stream a whole recording in fixed-size chunks."""
+        events: list[StreamEvent] = []
+        for start in range(0, signal.shape[0], chunk_samples):
+            events.extend(self.push(signal[start : start + chunk_samples]))
+        return events

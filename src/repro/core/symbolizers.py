@@ -1,0 +1,83 @@
+"""Pluggable symbolisers for the HD pipeline.
+
+Laelaps symbolises with LBP codes, but the encoder itself only needs
+*some* finite symbol stream per electrode (Sec. II-A discusses
+alternatives).  A symboliser maps a raw multichannel signal to integer
+codes; the detector sizes its code item memory from the symboliser's
+alphabet.  :class:`LBPSymbolizer` is the paper's choice;
+:class:`HVGSymbolizer` is the directed-horizontal-graph comparator the
+paper dismisses as less efficient — implemented so the claim is
+testable (``benchmarks/bench_symbolization.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.lbp.codes import lbp_codes_multichannel
+from repro.lbp.visibility import hvg_alphabet_size, hvg_codes_multichannel
+
+
+class Symbolizer(Protocol):
+    """Interface the detector consumes."""
+
+    @property
+    def alphabet_size(self) -> int:
+        """Number of distinct symbols."""
+
+    @property
+    def margin(self) -> int:
+        """Trailing raw samples a code depends on (label-time skew)."""
+
+    def codes(self, signal: np.ndarray) -> np.ndarray:
+        """Symbol streams, ``(n_codes, n_channels)`` integers."""
+
+
+class LBPSymbolizer:
+    """Local binary patterns (the paper's symboliser)."""
+
+    def __init__(self, length: int = 6) -> None:
+        self.length = length
+
+    @property
+    def alphabet_size(self) -> int:
+        """``2 ** length`` codes."""
+        return 1 << self.length
+
+    @property
+    def margin(self) -> int:
+        """A code at t consumes samples up to ``t + length``."""
+        return self.length
+
+    def codes(self, signal: np.ndarray) -> np.ndarray:
+        """Per-electrode LBP code streams."""
+        return lbp_codes_multichannel(signal, self.length)
+
+
+class HVGSymbolizer:
+    """Directed horizontal-visibility-graph degrees (comparator).
+
+    Note: HVG symbols are not strictly causal (a point's out-degree
+    depends on future samples until a higher one arrives); for the
+    offline comparison this skew is ignored, which if anything favours
+    HVG.
+    """
+
+    def __init__(self, degree_cap: int = 7) -> None:
+        self.degree_cap = degree_cap
+
+    @property
+    def alphabet_size(self) -> int:
+        """``(cap + 1) ** 2`` in/out degree pairs."""
+        return hvg_alphabet_size(self.degree_cap)
+
+    @property
+    def margin(self) -> int:
+        """Treated as zero (see class note)."""
+        return 0
+
+    def codes(self, signal: np.ndarray) -> np.ndarray:
+        """Per-electrode HVG degree-pair streams."""
+        return hvg_codes_multichannel(signal, self.degree_cap)

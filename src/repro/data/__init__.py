@@ -1,0 +1,63 @@
+"""Data substrate: synthetic long-term iEEG and the evaluation cohort.
+
+The paper evaluates on the SWEC-ETHZ dataset (18 drug-resistant epilepsy
+patients, 24-128 intracranial electrodes, 2656 h, 116 seizures).  That
+dataset is not available in this offline environment, so this package
+provides the closest synthetic equivalent:
+
+* :mod:`repro.data.synthetic` generates multichannel iEEG with the two
+  documented regimes — interictal broadband 1/f background with a
+  flattened LBP-code histogram, and ictal slower/larger/asymmetric
+  rhythmic oscillations that concentrate the histogram — plus the
+  interictal confounders (spikes, rhythmic bursts, sustained background
+  drifts) that make false alarms possible;
+* :mod:`repro.data.cohort` mirrors Table I patient by patient (electrode
+  counts, seizure counts, training-seizure counts) at a configurable
+  duration scale;
+* :mod:`repro.data.splits` implements the chronological train/test
+  protocol of Sec. IV-B.
+"""
+
+from repro.data.cohort import (
+    PatientSpec,
+    build_cohort,
+    cohort_patient_specs,
+    synthesize_patient,
+)
+from repro.data.failures import (
+    inject_artifact_bursts,
+    kill_electrodes,
+    saturate_electrodes,
+)
+from repro.data.io import load_recording, save_recording
+from repro.data.swec import load_long_term_hours, load_short_term
+from repro.data.model import Cohort, Patient, Recording, SeizureEvent
+from repro.data.splits import ChronologicalSplit, make_chronological_split
+from repro.data.synthetic import (
+    SeizurePlan,
+    SynthesisParams,
+    SyntheticIEEGGenerator,
+)
+
+__all__ = [
+    "SeizureEvent",
+    "Recording",
+    "Patient",
+    "Cohort",
+    "SeizurePlan",
+    "SynthesisParams",
+    "SyntheticIEEGGenerator",
+    "PatientSpec",
+    "cohort_patient_specs",
+    "build_cohort",
+    "synthesize_patient",
+    "ChronologicalSplit",
+    "make_chronological_split",
+    "save_recording",
+    "load_recording",
+    "kill_electrodes",
+    "saturate_electrodes",
+    "inject_artifact_bursts",
+    "load_short_term",
+    "load_long_term_hours",
+]

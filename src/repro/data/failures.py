@@ -1,0 +1,91 @@
+"""Recording-level failure injection for robustness studies.
+
+Long-term implanted recordings suffer hardware faults that a deployed
+detector must tolerate: electrodes go flat (contact loss), saturate
+against the ADC rails, or pick up intermittent high-amplitude artefact
+bursts.  These transforms inject such faults into an existing
+:class:`~repro.data.model.Recording` *after* synthesis, so the same
+underlying physiology can be evaluated clean and degraded — used by the
+robustness example and the failure-injection tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.data.model import Recording
+
+
+def _copy_data(recording: Recording) -> np.ndarray:
+    return np.array(recording.data, dtype=np.float32, copy=True)
+
+
+def kill_electrodes(
+    recording: Recording,
+    electrodes: list[int] | np.ndarray,
+    from_s: float = 0.0,
+) -> Recording:
+    """Flatline the given electrodes from ``from_s`` onwards.
+
+    A dead contact reads a constant (here 0), so its sign-of-difference
+    bits are all ties — a constant LBP code 0 that the HD bundle must
+    absorb.
+    """
+    data = _copy_data(recording)
+    start = int(from_s * recording.fs)
+    idx = np.asarray(electrodes, dtype=np.int64)
+    if idx.size and (idx.min() < 0 or idx.max() >= recording.n_electrodes):
+        raise ValueError("electrode index out of range")
+    data[start:, idx] = 0.0
+    return replace(recording, data=data)
+
+
+def saturate_electrodes(
+    recording: Recording,
+    electrodes: list[int] | np.ndarray,
+    limit: float,
+) -> Recording:
+    """Clip the given electrodes to ``[-limit, +limit]`` (ADC rails)."""
+    if limit <= 0:
+        raise ValueError(f"saturation limit must be positive, got {limit}")
+    data = _copy_data(recording)
+    idx = np.asarray(electrodes, dtype=np.int64)
+    if idx.size and (idx.min() < 0 or idx.max() >= recording.n_electrodes):
+        raise ValueError("electrode index out of range")
+    # Fancy indexing yields a copy, so clip-and-assign rather than
+    # clipping through an ``out=`` view.
+    data[:, idx] = np.clip(data[:, idx], -limit, limit)
+    return replace(recording, data=data)
+
+
+def inject_artifact_bursts(
+    recording: Recording,
+    rate_per_hour: float,
+    amplitude: float,
+    seed: int = 0,
+    duration_s: tuple[float, float] = (0.5, 3.0),
+) -> Recording:
+    """Add broadband high-amplitude artefact bursts on random channels.
+
+    Models cable movement / chewing artefacts: white noise at
+    ``amplitude`` on a random quarter of the montage for 0.5-3 s.
+    """
+    if rate_per_hour < 0 or amplitude < 0:
+        raise ValueError("rate and amplitude must be non-negative")
+    data = _copy_data(recording)
+    rng = np.random.default_rng(seed)
+    n_events = int(rng.poisson(rate_per_hour * recording.duration_s / 3600.0))
+    fs = recording.fs
+    for _ in range(n_events):
+        start = int(rng.uniform(0, recording.duration_s) * fs)
+        length = int(rng.uniform(*duration_s) * fs)
+        end = min(start + length, recording.n_samples)
+        if end <= start:
+            continue
+        count = max(1, recording.n_electrodes // 4)
+        channels = rng.choice(recording.n_electrodes, count, replace=False)
+        burst = rng.standard_normal((end - start, count)) * amplitude
+        data[start:end, channels] += burst.astype(np.float32)
+    return replace(recording, data=data)

@@ -1,0 +1,73 @@
+"""Persistence of recordings (npz with embedded annotations).
+
+The SWEC-ETHZ distribution ships one file per hour of recording; for the
+synthetic cohort a single compressed npz per recording is simpler and
+keeps annotations attached to the data they describe.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.model import Recording, SeizureEvent
+
+_FORMAT_VERSION = 1
+
+
+def save_recording(recording: Recording, path: str | Path) -> Path:
+    """Serialise a recording to ``path`` (``.npz``).
+
+    The seizure annotations and metadata travel inside the archive as a
+    JSON payload so a recording file is self-describing.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "version": _FORMAT_VERSION,
+        "fs": recording.fs,
+        "patient_id": recording.patient_id,
+        "seizures": [
+            {
+                "onset_s": s.onset_s,
+                "offset_s": s.offset_s,
+                "seizure_type": s.seizure_type,
+            }
+            for s in recording.seizures
+        ],
+    }
+    np.savez_compressed(
+        path,
+        data=recording.data.astype(np.float32),
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+    )
+    return path
+
+
+def load_recording(path: str | Path) -> Recording:
+    """Load a recording written by :func:`save_recording`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        data = archive["data"]
+        meta = json.loads(bytes(archive["meta"].tobytes()).decode("utf-8"))
+    version = meta.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported recording format version {version!r}"
+        )
+    seizures = tuple(
+        SeizureEvent(
+            onset_s=s["onset_s"],
+            offset_s=s["offset_s"],
+            seizure_type=s["seizure_type"],
+        )
+        for s in meta["seizures"]
+    )
+    return Recording(
+        data=data,
+        fs=float(meta["fs"]),
+        seizures=seizures,
+        patient_id=meta.get("patient_id", ""),
+    )

@@ -1,0 +1,191 @@
+"""Data model for recordings, seizures, patients and cohorts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+#: Seizure with clear electrographic rhythmicity — detectable in principle.
+CLINICAL = "clinical"
+#: Electrographically subtle seizure — background-like morphology, used to
+#: model the seizures that every method in Table I misses (e.g. P14).
+SUBTLE = "subtle"
+
+_SEIZURE_TYPES = (CLINICAL, SUBTLE)
+
+
+@dataclass(frozen=True)
+class SeizureEvent:
+    """An expert-marked seizure.
+
+    Attributes:
+        onset_s: Electrographic onset in seconds from recording start.
+        offset_s: Seizure end in seconds.
+        seizure_type: ``"clinical"`` or ``"subtle"`` (see module docs).
+    """
+
+    onset_s: float
+    offset_s: float
+    seizure_type: str = CLINICAL
+
+    def __post_init__(self) -> None:
+        if self.offset_s <= self.onset_s:
+            raise ValueError(
+                f"seizure offset {self.offset_s} must follow onset {self.onset_s}"
+            )
+        if self.seizure_type not in _SEIZURE_TYPES:
+            raise ValueError(
+                f"seizure_type must be one of {_SEIZURE_TYPES}, "
+                f"got {self.seizure_type!r}"
+            )
+
+    @property
+    def duration_s(self) -> float:
+        """Seizure duration in seconds."""
+        return self.offset_s - self.onset_s
+
+    def shifted(self, offset: float) -> "SeizureEvent":
+        """The same event relative to a new time origin."""
+        return replace(
+            self, onset_s=self.onset_s - offset, offset_s=self.offset_s - offset
+        )
+
+
+@dataclass(frozen=True)
+class Recording:
+    """A continuous multichannel iEEG recording with annotations.
+
+    Attributes:
+        data: Signal array ``(n_samples, n_electrodes)`` (float32).
+        fs: Sampling rate in Hz.
+        seizures: Expert-marked seizures, in chronological order.
+        patient_id: Identifier such as ``"P7"``.
+    """
+
+    data: np.ndarray
+    fs: float
+    seizures: tuple[SeizureEvent, ...] = ()
+    patient_id: str = ""
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.data)
+        if arr.ndim != 2:
+            raise ValueError(f"data must be (n_samples, n_electrodes), got {arr.shape}")
+        if self.fs <= 0:
+            raise ValueError(f"fs must be positive, got {self.fs}")
+        onsets = [s.onset_s for s in self.seizures]
+        if onsets != sorted(onsets):
+            raise ValueError("seizures must be in chronological order")
+        for seizure in self.seizures:
+            if seizure.offset_s > self.duration_s + 1e-9:
+                raise ValueError(
+                    f"seizure {seizure} extends past the recording end "
+                    f"({self.duration_s:.1f} s)"
+                )
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples."""
+        return self.data.shape[0]
+
+    @property
+    def n_electrodes(self) -> int:
+        """Number of electrodes."""
+        return self.data.shape[1]
+
+    @property
+    def duration_s(self) -> float:
+        """Recording length in seconds."""
+        return self.n_samples / self.fs
+
+    def seizure_segments(self) -> list[tuple[float, float]]:
+        """Seizures as ``(onset_s, offset_s)`` tuples."""
+        return [(s.onset_s, s.offset_s) for s in self.seizures]
+
+    def interictal_seconds(self) -> float:
+        """Total non-seizure time in seconds."""
+        ictal = sum(s.duration_s for s in self.seizures)
+        return self.duration_s - ictal
+
+    def slice_time(self, start_s: float, end_s: float) -> "Recording":
+        """Sub-recording over ``[start_s, end_s)`` with re-based seizures.
+
+        Seizures are kept if they overlap the slice and are clipped to it.
+        """
+        if not 0 <= start_s < end_s:
+            raise ValueError(f"invalid slice [{start_s}, {end_s})")
+        start = int(round(start_s * self.fs))
+        end = min(self.n_samples, int(round(end_s * self.fs)))
+        kept = []
+        span_end = end / self.fs
+        for seizure in self.seizures:
+            if seizure.offset_s <= start_s or seizure.onset_s >= span_end:
+                continue
+            clipped = SeizureEvent(
+                onset_s=max(seizure.onset_s, start_s) - start_s,
+                offset_s=min(seizure.offset_s, span_end) - start_s,
+                seizure_type=seizure.seizure_type,
+            )
+            kept.append(clipped)
+        return Recording(
+            data=self.data[start:end],
+            fs=self.fs,
+            seizures=tuple(kept),
+            patient_id=self.patient_id,
+        )
+
+
+@dataclass(frozen=True)
+class Patient:
+    """A patient: identifier, recording, and the training-seizure count."""
+
+    patient_id: str
+    recording: Recording
+    train_seizures: int = 1
+
+    def __post_init__(self) -> None:
+        if self.train_seizures < 1:
+            raise ValueError("at least one training seizure is required")
+        if len(self.recording.seizures) < self.train_seizures + 1:
+            raise ValueError(
+                f"{self.patient_id}: need more seizures than the "
+                f"{self.train_seizures} reserved for training"
+            )
+
+    @property
+    def n_electrodes(self) -> int:
+        """Electrode count of the patient's implantation."""
+        return self.recording.n_electrodes
+
+    @property
+    def n_test_seizures(self) -> int:
+        """Seizures available for evaluation."""
+        return len(self.recording.seizures) - self.train_seizures
+
+
+@dataclass(frozen=True)
+class Cohort:
+    """An ordered collection of patients."""
+
+    patients: tuple[Patient, ...]
+    name: str = "synthetic-swec-ethz"
+    metadata: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.patients)
+
+    def __iter__(self):
+        return iter(self.patients)
+
+    def total_hours(self) -> float:
+        """Total recording duration across patients, in hours."""
+        return sum(p.recording.duration_s for p in self.patients) / 3600.0
+
+    def total_seizures(self) -> int:
+        """Total number of annotated seizures."""
+        return sum(len(p.recording.seizures) for p in self.patients)
+
+    def total_test_seizures(self) -> int:
+        """Seizures not used for training, across patients."""
+        return sum(p.n_test_seizures for p in self.patients)

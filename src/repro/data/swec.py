@@ -1,0 +1,158 @@
+"""Loader for the public SWEC-ETHZ iEEG dataset (http://ieeg-swez.ethz.ch).
+
+The paper's recordings are distributed as MATLAB files in two flavours:
+
+* **short-term** — one file per seizure (``IDxx_Szy.mat``) holding a
+  3 min segment sampled at 512 Hz, the seizure in the middle minute;
+* **long-term** — hourly files (``IDxx_yh.mat``) holding one hour of
+  recording each, plus a per-patient ``IDxx_info.mat`` with the sampling
+  rate and the seizure onset/offset times relative to the start of the
+  whole recording.
+
+This environment has no network access, so the test-suite exercises the
+loader against synthetic ``.mat`` files with the same structure
+(written via :func:`scipy.io.savemat`); pointing the functions at a real
+download directory yields :class:`~repro.data.model.Recording` objects
+ready for the rest of the pipeline.
+
+The loader is deliberately tolerant about the matrix key (``EEG`` in
+the distribution; any single 2-D array is accepted as a fallback) and
+about orientation (the longer axis is taken as time — hour-long
+recordings always have far more samples than electrodes).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+from scipy import io as sio
+
+from repro.data.model import Recording, SeizureEvent
+
+#: Sampling rate of the distribution (both flavours).
+SWEC_FS = 512.0
+
+
+def _extract_matrix(payload: dict, path: Path) -> np.ndarray:
+    """Pull the single 2-D signal matrix out of a loadmat payload."""
+    candidates = {
+        key: value
+        for key, value in payload.items()
+        if not key.startswith("__") and isinstance(value, np.ndarray)
+    }
+    for key in ("EEG", "eeg", "data"):
+        if key in candidates and candidates[key].ndim == 2:
+            return candidates[key]
+    two_d = [v for v in candidates.values() if v.ndim == 2]
+    if len(two_d) == 1:
+        return two_d[0]
+    raise ValueError(
+        f"{path}: expected one 2-D signal matrix, found keys "
+        f"{sorted(candidates)}"
+    )
+
+
+def _time_major(matrix: np.ndarray) -> np.ndarray:
+    """Orient a signal matrix as ``(n_samples, n_electrodes)``."""
+    if matrix.shape[0] >= matrix.shape[1]:
+        return matrix
+    return matrix.T
+
+
+def load_short_term(
+    path: str | Path,
+    seizure_onset_s: float = 60.0,
+    seizure_offset_s: float = 120.0,
+    fs: float = SWEC_FS,
+    patient_id: str = "",
+) -> Recording:
+    """Load one short-term segment (seizure in the middle minute).
+
+    Args:
+        path: ``IDxx_Szy.mat`` file.
+        seizure_onset_s: Onset within the segment (the distribution
+            places the seizure between minutes 1 and 2).
+        seizure_offset_s: Offset within the segment.
+        fs: Sampling rate (512 Hz in the distribution).
+        patient_id: Optional identifier stored on the recording.
+    """
+    path = Path(path)
+    payload = sio.loadmat(path)
+    data = _time_major(_extract_matrix(payload, path)).astype(np.float32)
+    duration = data.shape[0] / fs
+    offset = min(seizure_offset_s, duration)
+    seizures: tuple[SeizureEvent, ...] = ()
+    if seizure_onset_s < offset:
+        seizures = (SeizureEvent(seizure_onset_s, offset),)
+    return Recording(
+        data=data, fs=fs, seizures=seizures,
+        patient_id=patient_id or path.stem.split("_")[0],
+    )
+
+
+def load_info(path: str | Path) -> tuple[float, list[tuple[float, float]]]:
+    """Load a long-term ``IDxx_info.mat``: ``(fs, [(onset, offset), ...])``.
+
+    Expects the distribution's variables ``fs``, ``seizure_begin`` and
+    ``seizure_end`` (seconds from the start of the patient's recording).
+    """
+    path = Path(path)
+    payload = sio.loadmat(path)
+    try:
+        fs = float(np.asarray(payload["fs"]).ravel()[0])
+        begins = np.asarray(payload["seizure_begin"], dtype=float).ravel()
+        ends = np.asarray(payload["seizure_end"], dtype=float).ravel()
+    except KeyError as error:
+        raise ValueError(f"{path}: missing info variable {error}") from error
+    if begins.shape != ends.shape:
+        raise ValueError(f"{path}: seizure begin/end lengths differ")
+    events = sorted(zip(begins.tolist(), ends.tolist()))
+    return fs, [(b, e) for b, e in events]
+
+
+def load_long_term_hours(
+    hour_paths: list[str | Path],
+    info_path: str | Path,
+    patient_id: str = "",
+) -> Recording:
+    """Concatenate hourly files into one annotated recording.
+
+    Args:
+        hour_paths: The patient's ``IDxx_yh.mat`` files *in
+            chronological order* (the caller sorts; hour indices in the
+            distribution are 1-based).
+        info_path: The patient's ``IDxx_info.mat``.
+
+    Returns:
+        One continuous :class:`Recording`; seizures whose annotated
+        times fall outside the concatenated span are dropped (the
+        distribution annotates the full recording, so loading a subset
+        of hours keeps only the seizures inside it).
+    """
+    if not hour_paths:
+        raise ValueError("need at least one hourly file")
+    fs, seizure_times = load_info(info_path)
+    chunks = []
+    for path in hour_paths:
+        path = Path(path)
+        payload = sio.loadmat(path)
+        chunks.append(_time_major(_extract_matrix(payload, path)))
+    n_electrodes = chunks[0].shape[1]
+    for path, chunk in zip(hour_paths, chunks):
+        if chunk.shape[1] != n_electrodes:
+            raise ValueError(
+                f"{path}: electrode count {chunk.shape[1]} differs from "
+                f"first file ({n_electrodes})"
+            )
+    data = np.concatenate(chunks, axis=0).astype(np.float32)
+    duration = data.shape[0] / fs
+    events = tuple(
+        SeizureEvent(onset, min(offset, duration))
+        for onset, offset in seizure_times
+        if onset < duration and offset > 0
+    )
+    return Recording(
+        data=data, fs=fs, seizures=events,
+        patient_id=patient_id or Path(info_path).stem.split("_")[0],
+    )

@@ -1,0 +1,462 @@
+"""Synthetic long-term iEEG generator.
+
+Stands in for the SWEC-ETHZ recordings (see DESIGN.md, substitution
+table).  The generator reproduces the signal properties the paper's
+pipeline actually consumes:
+
+* **Interictal background** — spatially-correlated 1/f ("pink") noise.
+  Its sign-of-difference symbols spread over most LBP codes, giving the
+  flattened histogram described in Sec. II-A.
+* **Ictal activity** — slower, larger, *asymmetric* rhythmic oscillations
+  (a down-chirping sawtooth on a focal electrode subset with a spreading
+  onset), which concentrate the LBP histogram on few codes.
+* **Interictal confounders** — epileptiform spikes, short rhythmic
+  bursts and sustained background drifts (sleep-like slow activity).
+  These are what give detectors the *opportunity* to raise false alarms;
+  their rates are elevated relative to clinical recordings so that
+  false-alarm statistics are measurable on duration-scaled recordings.
+* **Subtle seizures** — expert-marked events whose morphology stays at
+  background amplitude, modelling the seizures that every method in
+  Table I misses (P14 and the missed fraction of P4/P6/P7/P9/P13/P18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import signal as sps
+
+from repro.data.model import CLINICAL, SUBTLE, Recording, SeizureEvent
+
+# Paul Kellet's economy pink-noise IIR approximation (1/f magnitude).
+_PINK_B = np.array([0.049922035, -0.095993537, 0.050612699, -0.004408786])
+_PINK_A = np.array([1.0, -2.494956002, 2.017265875, -0.522189400])
+
+
+@dataclass(frozen=True)
+class SeizurePlan:
+    """Where and what kind of seizure to synthesise.
+
+    Attributes:
+        onset_s: Electrographic onset in seconds.
+        duration_s: Seizure duration in seconds.
+        subtle: Generate a background-like (undetectable) event.
+    """
+
+    onset_s: float
+    duration_s: float
+    subtle: bool = False
+
+    def __post_init__(self) -> None:
+        if self.onset_s < 0 or self.duration_s <= 0:
+            raise ValueError(
+                f"invalid seizure plan onset={self.onset_s}, "
+                f"duration={self.duration_s}"
+            )
+
+    @property
+    def offset_s(self) -> float:
+        """Seizure end in seconds."""
+        return self.onset_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class SynthesisParams:
+    """Tunable properties of the synthetic iEEG.
+
+    Attributes:
+        fs: Sampling rate in Hz.
+        background_std: Standard deviation of the interictal background
+            (arbitrary amplitude units; everything else is relative).
+        spatial_mixing: Fraction of each electrode's background shared
+            with a common source (0 = independent channels).
+        spike_rate_per_hour: Interictal epileptiform spikes per hour.
+        burst_rate_per_hour: Short rhythmic (alpha/spindle-like) bursts
+            per hour; 1-4 s long, too short to pass the t_c filter.
+        drift_rate_per_hour: Sustained slow-activity drifts per hour;
+            10-40 s long — the events that can fool a weak classifier for
+            many consecutive windows.
+        drift_amplitude: Drift oscillation amplitude relative to the
+            background std.
+        drift_suppression: Background attenuation under a drift (partial
+            — drifts sit *near* the ictal/interictal boundary).
+        pld_rate_per_hour: Periodic ictal-like discharges (PLD-like
+            epochs) per hour: 8-20 s of rhythmic asymmetric activity
+            *inside the patient's seizure-onset zone* at sub-seizure
+            intensity.  These are the hardest interictal confounders —
+            electrographically "almost a seizure" — and the main source
+            of baseline false alarms.
+        pld_intensity: PLD amplitude/suppression as a fraction of the
+            full ictal values.
+        ictal_freq_hz: Dominant seizure rhythm at onset (chirps down).
+        ictal_amplitude: Ictal oscillation amplitude relative to the
+            background std.
+        ictal_focal_fraction: Fraction of electrodes recruited.
+        ictal_ramp_s: Amplitude ramp-in time (also the spread time).
+        ictal_suppression: Background attenuation under the seizure
+            rhythm on recruited electrodes (organised discharges replace
+            the broadband background — the property that makes a single
+            LBP code predominant, Sec. II-A).
+        subtle_amplitude: Amplitude of subtle seizures relative to the
+            background std (kept near 1 so they stay invisible).
+        confounder_margin_s: Keep-out zone around seizures where no
+            confounder is placed.
+    """
+
+    fs: float = 512.0
+    background_std: float = 1.0
+    spatial_mixing: float = 0.35
+    spike_rate_per_hour: float = 120.0
+    burst_rate_per_hour: float = 40.0
+    drift_rate_per_hour: float = 30.0
+    drift_amplitude: float = 2.5
+    drift_suppression: float = 0.55
+    pld_rate_per_hour: float = 30.0
+    pld_intensity: float = 0.4
+    ictal_freq_hz: float = 6.0
+    ictal_amplitude: float = 4.5
+    ictal_focal_fraction: float = 0.5
+    ictal_ramp_s: float = 3.0
+    ictal_suppression: float = 0.85
+    subtle_amplitude: float = 1.05
+    confounder_margin_s: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.fs <= 0:
+            raise ValueError(f"fs must be positive, got {self.fs}")
+        if not 0 <= self.spatial_mixing < 1:
+            raise ValueError("spatial_mixing must be in [0, 1)")
+        if self.ictal_focal_fraction <= 0 or self.ictal_focal_fraction > 1:
+            raise ValueError("ictal_focal_fraction must be in (0, 1]")
+
+
+class SyntheticIEEGGenerator:
+    """Deterministic multichannel iEEG synthesiser.
+
+    Args:
+        n_electrodes: Number of channels to generate.
+        params: Signal properties; defaults follow the module docstring.
+        seed: Seed of the private random generator — a given
+            ``(n_electrodes, params, seed)`` triple always produces the
+            same recording.
+    """
+
+    def __init__(
+        self,
+        n_electrodes: int,
+        params: SynthesisParams | None = None,
+        seed: int = 0,
+    ) -> None:
+        if n_electrodes < 1:
+            raise ValueError(f"n_electrodes must be >= 1, got {n_electrodes}")
+        self.n_electrodes = n_electrodes
+        self.params = params or SynthesisParams()
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        # The seizure-onset zone is a fixed property of the patient's
+        # epileptogenic anatomy: every clinical seizure recruits (nearly)
+        # the same electrodes.  This stereotypy is what lets a model
+        # trained on one or two seizures generalise to unseen ones.
+        self._onset_zone = self._electrode_subset(
+            self.params.ictal_focal_fraction
+        )
+        self._ictal_freq = self.params.ictal_freq_hz
+
+    # ------------------------------------------------------------------
+    # Background
+    # ------------------------------------------------------------------
+
+    def _pink_noise(self, n_samples: int, n_channels: int) -> np.ndarray:
+        """Unit-variance pink noise, shape ``(n_samples, n_channels)``."""
+        white = self._rng.standard_normal((n_samples, n_channels))
+        pink = sps.lfilter(_PINK_B, _PINK_A, white, axis=0)
+        std = pink.std(axis=0)
+        std[std == 0] = 1.0
+        return pink / std
+
+    def background(self, n_samples: int) -> np.ndarray:
+        """Interictal background: spatially-mixed pink noise."""
+        p = self.params
+        own = self._pink_noise(n_samples, self.n_electrodes)
+        shared = self._pink_noise(n_samples, 1)
+        mix = p.spatial_mixing
+        data = np.sqrt(1.0 - mix**2) * own + mix * shared
+        return (p.background_std * data).astype(np.float64)
+
+    # ------------------------------------------------------------------
+    # Interictal confounders
+    # ------------------------------------------------------------------
+
+    def _electrode_subset(self, fraction: float) -> np.ndarray:
+        """A contiguous random block of electrodes (focal anatomy)."""
+        count = max(1, int(round(fraction * self.n_electrodes)))
+        count = min(count, self.n_electrodes)
+        start = int(self._rng.integers(0, self.n_electrodes - count + 1))
+        return np.arange(start, start + count)
+
+    def _add_spike(self, data: np.ndarray, at_sample: int) -> None:
+        """Biphasic epileptiform transient (~70 ms) on a small subset."""
+        p = self.params
+        width = int(0.07 * p.fs)
+        if width < 4 or at_sample + width >= data.shape[0]:
+            return
+        t = np.linspace(-2.5, 2.5, width)
+        kernel = -t * np.exp(-(t**2))  # derivative-of-Gaussian shape
+        kernel /= np.abs(kernel).max()
+        amplitude = p.background_std * self._rng.uniform(3.0, 6.0)
+        electrodes = self._electrode_subset(0.25)
+        data[at_sample : at_sample + width, electrodes] += (
+            amplitude * kernel[:, None]
+        )
+
+    def _add_rhythm(
+        self,
+        data: np.ndarray,
+        start: int,
+        duration: int,
+        freq_hz: float,
+        amplitude: float,
+        electrodes: np.ndarray,
+        asymmetry: float = 0.5,
+        chirp_to_hz: float | None = None,
+        ramp_s: float = 0.5,
+        suppression: float = 0.0,
+    ) -> None:
+        """Add a windowed rhythmic oscillation in place.
+
+        ``asymmetry`` is the sawtooth width parameter: 0.5 is a symmetric
+        triangle, values toward 1 skew the rise/fall times (the ictal
+        signature that produces runs of identical LBP sign bits).
+
+        ``suppression`` attenuates the pre-existing background under the
+        oscillation envelope (0 = none, 1 = full).  Organised ictal
+        rhythms replace the background activity on recruited electrodes;
+        without this the broadband background noise would keep flipping
+        the sign-of-difference bits and no LBP code could dominate.
+        """
+        p = self.params
+        end = min(start + duration, data.shape[0])
+        n = end - start
+        if n <= 1:
+            return
+        f_end = chirp_to_hz if chirp_to_hz is not None else freq_hz
+        inst_freq = np.linspace(freq_hz, f_end, n)
+        phase = 2 * np.pi * np.cumsum(inst_freq) / p.fs
+        ramp = max(1, int(ramp_s * p.fs))
+        envelope = np.ones(n)
+        envelope[: min(ramp, n)] = np.linspace(0.0, 1.0, min(ramp, n))
+        tail = min(max(1, int(0.2 * n)), n)
+        envelope[-tail:] *= np.linspace(1.0, 0.2, tail)
+        per_electrode = self._rng.uniform(0.8, 1.2, size=electrodes.size)
+        phase_offsets = self._rng.uniform(0, 2 * np.pi, size=electrodes.size)
+        attenuation = 1.0 - suppression * envelope if suppression > 0 else None
+        for k, electrode in enumerate(electrodes):
+            wave = sps.sawtooth(phase + phase_offsets[k], width=asymmetry)
+            if attenuation is not None:
+                data[start:end, electrode] *= attenuation
+            data[start:end, electrode] += (
+                amplitude * per_electrode[k] * envelope * wave
+            )
+
+    def _add_burst(self, data: np.ndarray, start: int) -> None:
+        """1-4 s alpha/spindle-like burst on a small electrode subset."""
+        p = self.params
+        duration = int(self._rng.uniform(1.0, 4.0) * p.fs)
+        self._add_rhythm(
+            data,
+            start,
+            duration,
+            freq_hz=self._rng.uniform(8.0, 13.0),
+            amplitude=p.background_std * self._rng.uniform(1.2, 2.2),
+            electrodes=self._electrode_subset(0.25),
+            asymmetry=0.5,
+        )
+
+    def _add_drift(self, data: np.ndarray, start: int) -> None:
+        """10-40 s sustained slow-activity (sleep-like) drift."""
+        p = self.params
+        duration = int(self._rng.uniform(10.0, 40.0) * p.fs)
+        self._add_rhythm(
+            data,
+            start,
+            duration,
+            freq_hz=self._rng.uniform(1.5, 3.5),
+            amplitude=p.background_std * p.drift_amplitude
+            * self._rng.uniform(0.8, 1.2),
+            electrodes=self._electrode_subset(0.6),
+            asymmetry=0.7,
+            ramp_s=2.0,
+            suppression=p.drift_suppression,
+        )
+
+    def _add_pld(self, data: np.ndarray, start: int) -> None:
+        """8-20 s periodic ictal-like discharge in the onset zone.
+
+        Same rhythm family and electrodes as a real seizure of this
+        patient, but at a fraction of the amplitude and background
+        suppression — the classic near-boundary interictal pattern that
+        tempts a detector into a false alarm.
+        """
+        p = self.params
+        duration = int(self._rng.uniform(8.0, 20.0) * p.fs)
+        zone = self._onset_zone
+        take = max(1, int(0.6 * zone.size))
+        lo = int(self._rng.integers(0, zone.size - take + 1))
+        electrodes = zone[lo : lo + take]
+        freq = self._ictal_freq * self._rng.uniform(0.5, 0.8)
+        self._add_rhythm(
+            data,
+            start,
+            duration,
+            freq_hz=freq,
+            amplitude=p.background_std * p.ictal_amplitude * p.pld_intensity
+            * self._rng.uniform(0.85, 1.15),
+            electrodes=electrodes,
+            asymmetry=0.8,
+            ramp_s=1.5,
+            suppression=p.ictal_suppression * p.pld_intensity * 1.5,
+        )
+
+    def _confounder_times(
+        self,
+        rate_per_hour: float,
+        duration_s: float,
+        keepout: list[tuple[float, float]],
+    ) -> list[float]:
+        """Poisson event times avoiding the seizure keep-out zones."""
+        expected = rate_per_hour * duration_s / 3600.0
+        count = int(self._rng.poisson(expected))
+        times: list[float] = []
+        for _ in range(count):
+            t = float(self._rng.uniform(0.0, duration_s))
+            if any(lo <= t <= hi for lo, hi in keepout):
+                continue
+            times.append(t)
+        return sorted(times)
+
+    # ------------------------------------------------------------------
+    # Seizures
+    # ------------------------------------------------------------------
+
+    def _add_clinical_seizure(
+        self, data: np.ndarray, plan: SeizurePlan
+    ) -> None:
+        """Rhythmic asymmetric ictal discharge with focal onset + spread."""
+        p = self.params
+        # The patient's onset zone, minus occasionally one electrode at
+        # the margin (seizure-to-seizure variability is small, not zero).
+        electrodes = self._onset_zone
+        if electrodes.size > 2 and self._rng.random() < 0.5:
+            electrodes = electrodes[:-1]
+        onset = int(plan.onset_s * p.fs)
+        total = int(plan.duration_s * p.fs)
+        # Recruit electrodes progressively over the ramp time.
+        delays = np.sort(
+            self._rng.uniform(0.0, p.ictal_ramp_s, size=electrodes.size)
+        )
+        freq = self._ictal_freq * self._rng.uniform(0.95, 1.05)
+        for electrode, delay in zip(electrodes, delays):
+            start = onset + int(delay * p.fs)
+            duration = total - int(delay * p.fs)
+            self._add_rhythm(
+                data,
+                start,
+                duration,
+                freq_hz=freq + 1.5,
+                chirp_to_hz=max(1.0, freq - 1.5),
+                amplitude=p.background_std * p.ictal_amplitude,
+                electrodes=np.array([electrode]),
+                asymmetry=0.85,
+                ramp_s=min(p.ictal_ramp_s, plan.duration_s / 3),
+                suppression=p.ictal_suppression,
+            )
+
+    def _add_subtle_seizure(self, data: np.ndarray, plan: SeizurePlan) -> None:
+        """Background-amplitude, noise-like event: marked but invisible."""
+        p = self.params
+        onset = int(plan.onset_s * p.fs)
+        total = int(plan.duration_s * p.fs)
+        end = min(onset + total, data.shape[0])
+        n = end - onset
+        if n <= 10:
+            return
+        electrodes = self._electrode_subset(0.2)
+        noise = self._rng.standard_normal((n, electrodes.size))
+        low = 4.0 / (p.fs / 2.0)
+        high = min(12.0 / (p.fs / 2.0), 0.99)
+        b, a = sps.butter(2, [low, high], btype="bandpass")
+        shaped = sps.lfilter(b, a, noise, axis=0)
+        std = shaped.std(axis=0)
+        std[std == 0] = 1.0
+        shaped = shaped / std * p.background_std * p.subtle_amplitude
+        envelope = np.ones(n)
+        ramp = min(n // 4, int(2.0 * p.fs))
+        if ramp > 0:
+            envelope[:ramp] = np.linspace(0, 1, ramp)
+            envelope[-ramp:] = np.linspace(1, 0, ramp)
+        data[onset:end, electrodes] += 0.6 * shaped * envelope[:, None]
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def generate(
+        self, duration_s: float, seizures: list[SeizurePlan] | None = None
+    ) -> Recording:
+        """Synthesise a recording.
+
+        Args:
+            duration_s: Recording length in seconds.
+            seizures: Seizure plans; must fit inside the recording and be
+                in chronological order.
+
+        Returns:
+            A :class:`repro.data.model.Recording` (float32 data) whose
+            annotations mirror the plans.
+        """
+        p = self.params
+        plans = list(seizures or [])
+        for plan in plans:
+            if plan.offset_s > duration_s:
+                raise ValueError(
+                    f"seizure at {plan.onset_s} s (duration "
+                    f"{plan.duration_s} s) exceeds the recording "
+                    f"({duration_s} s)"
+                )
+        n_samples = int(round(duration_s * p.fs))
+        data = self.background(n_samples)
+
+        margin = p.confounder_margin_s
+        keepout = [
+            (plan.onset_s - margin, plan.offset_s + margin) for plan in plans
+        ]
+        for t in self._confounder_times(p.spike_rate_per_hour, duration_s, keepout):
+            self._add_spike(data, int(t * p.fs))
+        for t in self._confounder_times(p.burst_rate_per_hour, duration_s, keepout):
+            self._add_burst(data, int(t * p.fs))
+        for t in self._confounder_times(p.drift_rate_per_hour, duration_s, keepout):
+            self._add_drift(data, int(t * p.fs))
+        for t in self._confounder_times(p.pld_rate_per_hour, duration_s, keepout):
+            self._add_pld(data, int(t * p.fs))
+
+        events = []
+        for plan in plans:
+            if plan.subtle:
+                self._add_subtle_seizure(data, plan)
+                kind = SUBTLE
+            else:
+                self._add_clinical_seizure(data, plan)
+                kind = CLINICAL
+            events.append(
+                SeizureEvent(
+                    onset_s=plan.onset_s,
+                    offset_s=plan.offset_s,
+                    seizure_type=kind,
+                )
+            )
+        return Recording(
+            data=data.astype(np.float32),
+            fs=p.fs,
+            seizures=tuple(sorted(events, key=lambda e: e.onset_s)),
+        )

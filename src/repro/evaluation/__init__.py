@@ -1,0 +1,64 @@
+"""Evaluation harness: metrics, protocol and the Table I orchestration.
+
+The three paper metrics (Sec. IV-B):
+
+* **sensitivity** — detected seizures / test seizures;
+* **false detection rate (FDR)** — false alarms per interictal hour;
+* **detection delay** — seconds between the expert-marked onset and the
+  first alarm inside the seizure.
+"""
+
+from repro.evaluation.crossval import (
+    CrossValidationResult,
+    FoldResult,
+    leave_one_seizure_out,
+)
+from repro.evaluation.events import (
+    AlarmMatch,
+    match_alarms,
+    merge_alarms,
+)
+from repro.evaluation.metrics import DetectionMetrics, compute_metrics
+from repro.evaluation.operating import (
+    OperatingPoint,
+    tr_operating_curve,
+    zero_fdr_plateau,
+)
+from repro.evaluation.runner import (
+    PatientResult,
+    PatientRun,
+    evaluate_detector,
+    finalize_run,
+    run_patient,
+)
+from repro.evaluation.table1 import (
+    MethodSpec,
+    Table1Result,
+    default_methods,
+    run_table1,
+)
+from repro.evaluation.report import render_table
+
+__all__ = [
+    "CrossValidationResult",
+    "FoldResult",
+    "leave_one_seizure_out",
+    "AlarmMatch",
+    "match_alarms",
+    "merge_alarms",
+    "DetectionMetrics",
+    "compute_metrics",
+    "OperatingPoint",
+    "tr_operating_curve",
+    "zero_fdr_plateau",
+    "PatientRun",
+    "PatientResult",
+    "run_patient",
+    "finalize_run",
+    "evaluate_detector",
+    "MethodSpec",
+    "Table1Result",
+    "default_methods",
+    "run_table1",
+    "render_table",
+]

@@ -1,0 +1,119 @@
+"""Alarm/seizure event matching.
+
+An alarm *detects* a seizure when it fires inside the seizure (up to a
+small grace period after the offset, since the postprocessor needs ten
+consecutive ictal labels and short seizures may end first).  Alarms that
+match no seizure are false alarms.  Consecutive alarms within a
+refractory period are merged into one event first, so a detector that
+re-fires every window during a long event is not charged once per window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.model import SeizureEvent
+
+#: Default refractory period for merging raw alarms into events, seconds.
+DEFAULT_REFRACTORY_S = 30.0
+#: Default grace period after a seizure offset, seconds.
+DEFAULT_GRACE_S = 5.0
+
+
+def merge_alarms(
+    alarm_times: np.ndarray, refractory_s: float = DEFAULT_REFRACTORY_S
+) -> np.ndarray:
+    """Collapse alarms separated by less than ``refractory_s``.
+
+    Returns the first alarm time of every merged group, sorted.
+    """
+    times = np.sort(np.asarray(alarm_times, dtype=np.float64))
+    if times.size == 0:
+        return times
+    keep = [float(times[0])]
+    for t in times[1:]:
+        if t - keep[-1] >= refractory_s:
+            keep.append(float(t))
+    return np.asarray(keep)
+
+
+@dataclass(frozen=True)
+class AlarmMatch:
+    """Outcome of matching alarm events against seizure annotations.
+
+    Attributes:
+        detected: Per-seizure flag, aligned with the input seizures.
+        delays_s: Detection delay per *detected* seizure (first alarm
+            minus expert onset), aligned with ``detected_indices``.
+        detected_indices: Indices of detected seizures.
+        false_alarm_times: Alarm events that matched no seizure.
+    """
+
+    detected: np.ndarray
+    delays_s: np.ndarray
+    detected_indices: np.ndarray
+    false_alarm_times: np.ndarray
+
+    @property
+    def n_detected(self) -> int:
+        """Number of detected seizures."""
+        return int(self.detected.sum())
+
+    @property
+    def n_false_alarms(self) -> int:
+        """Number of false alarm events."""
+        return int(self.false_alarm_times.size)
+
+    @property
+    def mean_delay_s(self) -> float:
+        """Mean detection delay over detected seizures (nan if none)."""
+        return float(np.mean(self.delays_s)) if self.delays_s.size else float("nan")
+
+
+def match_alarms(
+    alarm_times: np.ndarray,
+    seizures: list[SeizureEvent] | tuple[SeizureEvent, ...],
+    grace_s: float = DEFAULT_GRACE_S,
+    refractory_s: float = DEFAULT_REFRACTORY_S,
+) -> AlarmMatch:
+    """Match merged alarm events against seizures.
+
+    Args:
+        alarm_times: Raw alarm times in seconds (same time base as the
+            seizures).
+        seizures: Annotated seizures.
+        grace_s: An alarm up to this long after a seizure offset still
+            counts as detecting it.
+        refractory_s: Merge window for raw alarms (see
+            :func:`merge_alarms`).
+
+    Returns:
+        An :class:`AlarmMatch`.
+    """
+    events = merge_alarms(alarm_times, refractory_s)
+    n = len(seizures)
+    detected = np.zeros(n, dtype=bool)
+    delays: list[float] = []
+    detected_idx: list[int] = []
+    consumed = np.zeros(events.size, dtype=bool)
+    for i, seizure in enumerate(seizures):
+        in_window = (
+            (events >= seizure.onset_s)
+            & (events <= seizure.offset_s + grace_s)
+            & ~consumed
+        )
+        hits = np.flatnonzero(in_window)
+        if hits.size:
+            first = hits[0]
+            consumed[in_window] = True
+            detected[i] = True
+            delays.append(float(events[first] - seizure.onset_s))
+            detected_idx.append(i)
+    return AlarmMatch(
+        detected=detected,
+        delays_s=np.asarray(delays, dtype=np.float64),
+        detected_indices=np.asarray(detected_idx, dtype=np.int64),
+        false_alarm_times=events[~consumed],
+    )

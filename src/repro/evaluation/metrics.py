@@ -1,0 +1,109 @@
+"""Detection metrics: sensitivity, FDR, delay (Sec. IV-B)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.model import SeizureEvent
+from repro.evaluation.events import (
+    DEFAULT_GRACE_S,
+    DEFAULT_REFRACTORY_S,
+    match_alarms,
+)
+
+
+@dataclass(frozen=True)
+class DetectionMetrics:
+    """Per-patient (or aggregated) detection performance.
+
+    Attributes:
+        n_seizures: Test seizures evaluated.
+        n_detected: Seizures with at least one matching alarm.
+        n_false_alarms: Alarm events outside every seizure window.
+        interictal_hours: Interictal test time the FDR is measured on.
+        delays_s: Detection delay of every detected seizure.
+    """
+
+    n_seizures: int
+    n_detected: int
+    n_false_alarms: int
+    interictal_hours: float
+    delays_s: tuple[float, ...] = field(default_factory=tuple)
+
+    @property
+    def sensitivity(self) -> float:
+        """Detected / evaluated; nan when there is nothing to detect."""
+        if self.n_seizures == 0:
+            return float("nan")
+        return self.n_detected / self.n_seizures
+
+    @property
+    def fdr_per_hour(self) -> float:
+        """False alarms per interictal hour."""
+        if self.interictal_hours <= 0:
+            return float("nan")
+        return self.n_false_alarms / self.interictal_hours
+
+    @property
+    def mean_delay_s(self) -> float:
+        """Mean detection delay; nan when nothing was detected."""
+        if not self.delays_s:
+            return float("nan")
+        return float(np.mean(self.delays_s))
+
+    def merged_with(self, other: "DetectionMetrics") -> "DetectionMetrics":
+        """Pool two metric sets (counts add; delays concatenate)."""
+        return DetectionMetrics(
+            n_seizures=self.n_seizures + other.n_seizures,
+            n_detected=self.n_detected + other.n_detected,
+            n_false_alarms=self.n_false_alarms + other.n_false_alarms,
+            interictal_hours=self.interictal_hours + other.interictal_hours,
+            delays_s=self.delays_s + other.delays_s,
+        )
+
+
+def compute_metrics(
+    alarm_times: np.ndarray,
+    seizures: list[SeizureEvent] | tuple[SeizureEvent, ...],
+    total_duration_s: float,
+    grace_s: float = DEFAULT_GRACE_S,
+    refractory_s: float = DEFAULT_REFRACTORY_S,
+) -> DetectionMetrics:
+    """Score alarms against annotations over a span of ``total_duration_s``.
+
+    The FDR denominator is the *interictal* time: total duration minus the
+    seizure time (plus grace periods, which are excluded from neither —
+    the bias is negligible at realistic seizure densities and matches the
+    paper's definition "false alarms that occurred during an hour").
+    """
+    match = match_alarms(alarm_times, seizures, grace_s, refractory_s)
+    ictal_s = sum(s.duration_s for s in seizures)
+    interictal_hours = max(0.0, total_duration_s - ictal_s) / 3600.0
+    return DetectionMetrics(
+        n_seizures=len(seizures),
+        n_detected=match.n_detected,
+        n_false_alarms=match.n_false_alarms,
+        interictal_hours=interictal_hours,
+        delays_s=tuple(match.delays_s.tolist()),
+    )
+
+
+def pool_metrics(per_patient: list[DetectionMetrics]) -> DetectionMetrics:
+    """Pool patient metrics into cohort totals (counts and hours add)."""
+    if not per_patient:
+        raise ValueError("nothing to pool")
+    total = per_patient[0]
+    for metrics in per_patient[1:]:
+        total = total.merged_with(metrics)
+    return total
+
+
+def mean_sensitivity(per_patient: list[DetectionMetrics]) -> float:
+    """Unweighted mean of per-patient sensitivities (the paper's "mean").
+
+    Patients with no test seizures (sensitivity nan) are skipped.
+    """
+    values = [m.sensitivity for m in per_patient if m.n_seizures > 0]
+    return float(np.mean(values)) if values else float("nan")

@@ -1,0 +1,115 @@
+"""Operating-characteristic analysis: sensitivity vs FDR over t_r.
+
+The paper reports a single operating point per patient (t_r from the
+tuning rule).  This module traces the whole characteristic by
+re-postprocessing stored :class:`~repro.evaluation.runner.PatientRun`
+predictions over a grid of t_r values — showing the trade-off the rule
+navigates, and how far the zero-false-alarm plateau extends before
+sensitivity starts to drop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.evaluation.metrics import pool_metrics
+from repro.evaluation.runner import PatientRun, finalize_run
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Pooled detection performance at one t_r.
+
+    Attributes:
+        tr: The threshold evaluated.
+        sensitivity: Pooled detected / pooled test seizures.
+        fdr_per_hour: Pooled false alarms per pooled interictal hour.
+        n_detected: Pooled detection count.
+        n_false_alarms: Pooled false-alarm count.
+    """
+
+    tr: float
+    sensitivity: float
+    fdr_per_hour: float
+    n_detected: int
+    n_false_alarms: int
+
+
+def auto_tr_grid(
+    runs: Iterable[PatientRun], n_points: int = 15
+) -> np.ndarray:
+    """A t_r grid from the pooled delta distribution's quantiles.
+
+    Starts at 0 (the untuned operating point) and spans up to the
+    maximum observed delta, so the curve always reaches the
+    zero-alarms/zero-detections extreme.
+    """
+    deltas = np.concatenate([run.test_preds.deltas for run in runs])
+    if deltas.size == 0:
+        return np.array([0.0])
+    quantiles = np.quantile(deltas, np.linspace(0.0, 1.0, n_points - 1))
+    grid = np.unique(np.concatenate([[0.0], quantiles]))
+    return grid
+
+
+def tr_operating_curve(
+    runs: Sequence[PatientRun],
+    tr_values: Sequence[float] | None = None,
+    postprocess_len: int = 10,
+    tc: int = 10,
+) -> list[OperatingPoint]:
+    """Pooled sensitivity/FDR at each t_r (ascending).
+
+    Args:
+        runs: Stored per-patient runs of one method.
+        tr_values: Thresholds to evaluate; an automatic quantile grid
+            when omitted.
+        postprocess_len: Voting-window length.
+        tc: Hard label-count threshold.
+    """
+    runs = list(runs)
+    if not runs:
+        raise ValueError("need at least one run")
+    grid = (
+        np.asarray(sorted(tr_values), dtype=float)
+        if tr_values is not None
+        else auto_tr_grid(runs)
+    )
+    curve: list[OperatingPoint] = []
+    for tr in grid:
+        pooled = pool_metrics([
+            finalize_run(
+                run, tr=float(tr), postprocess_len=postprocess_len, tc=tc
+            ).metrics
+            for run in runs
+        ])
+        curve.append(
+            OperatingPoint(
+                tr=float(tr),
+                sensitivity=pooled.sensitivity,
+                fdr_per_hour=pooled.fdr_per_hour,
+                n_detected=pooled.n_detected,
+                n_false_alarms=pooled.n_false_alarms,
+            )
+        )
+    return curve
+
+
+def zero_fdr_plateau(curve: Sequence[OperatingPoint]) -> tuple[float, float]:
+    """The t_r span with zero false alarms and maximal sensitivity.
+
+    Returns ``(tr_low, tr_high)`` bounding the best zero-FDR region of
+    the curve; raises when no evaluated point reaches zero FDR.
+    """
+    zero_points = [p for p in curve if p.n_false_alarms == 0]
+    if not zero_points:
+        raise ValueError("no zero-FDR operating point on the curve")
+    best = max(p.sensitivity for p in zero_points)
+    best_points = [p for p in zero_points if p.sensitivity == best]
+    return (
+        min(p.tr for p in best_points),
+        max(p.tr for p in best_points),
+    )

@@ -1,0 +1,52 @@
+"""Plain-text table rendering for the benchmark harnesses."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_value(value: object, precision: int = 2) -> str:
+    """Human formatting: floats rounded, nan shown as ``n.a.`` (Table I)."""
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "n.a."
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """Render an aligned monospace table.
+
+    Args:
+        headers: Column names.
+        rows: Row cells; floats are formatted with ``precision`` digits
+            and nan renders as ``n.a.`` like the paper's tables.
+        title: Optional line printed above the table.
+        precision: Decimal digits for float cells.
+
+    Returns:
+        The table as a single string (no trailing newline).
+    """
+    formatted = [
+        [format_value(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in formatted))
+        if formatted
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in formatted:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)

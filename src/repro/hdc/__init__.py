@@ -1,0 +1,65 @@
+"""Hyperdimensional-computing substrate.
+
+Binary hypervectors are represented in two interchangeable forms:
+
+* **unpacked** — ``uint8`` arrays of 0/1 with one byte per component; the
+  working representation of the encoders because bundling needs exact
+  per-component counters, and
+* **packed** — ``uint64`` arrays with 64 components per word (mirroring the
+  32-bit word packing of the paper's GPU implementation); the storage and
+  similarity-search representation, using hardware popcounts via
+  ``numpy.bitwise_count``.
+
+``repro.hdc.ops`` implements the two HD arithmetic operations of the paper
+(binding = XOR, bundling = componentwise majority) plus permutation and
+Hamming distance; ``repro.hdc.item_memory`` draws the seeded atomic
+vectors; ``repro.hdc.spatial``/``repro.hdc.temporal`` implement the Fig. 1
+encoder; ``repro.hdc.associative`` is the two-prototype associative memory.
+"""
+
+from repro.hdc.associative import AssociativeMemory, PrototypeAccumulator
+from repro.hdc.backend import (
+    hamming_distance,
+    hamming_distance_packed,
+    pack_bits,
+    packed_words,
+    random_bits,
+    unpack_bits,
+)
+from repro.hdc.bitsliced import BitslicedCounter
+from repro.hdc.item_memory import ItemMemory, bound_table
+from repro.hdc.ops import (
+    BundleAccumulator,
+    bind,
+    bundle,
+    majority_from_counts,
+    normalized_hamming,
+    permute,
+)
+from repro.hdc.spatial import SpatialEncoder
+from repro.hdc.spatial_packed import PackedSpatialEncoder
+from repro.hdc.temporal import TemporalEncoder, encode_recording
+
+__all__ = [
+    "pack_bits",
+    "unpack_bits",
+    "packed_words",
+    "random_bits",
+    "hamming_distance",
+    "hamming_distance_packed",
+    "bind",
+    "bundle",
+    "permute",
+    "majority_from_counts",
+    "normalized_hamming",
+    "BundleAccumulator",
+    "ItemMemory",
+    "bound_table",
+    "SpatialEncoder",
+    "PackedSpatialEncoder",
+    "BitslicedCounter",
+    "TemporalEncoder",
+    "encode_recording",
+    "AssociativeMemory",
+    "PrototypeAccumulator",
+]

@@ -1,0 +1,139 @@
+"""Associative memory: prototype learning and nearest-prototype queries.
+
+Training bundles all H vectors of a labelled brain state into one d-bit
+prototype (Sec. III-B): the interictal prototype ``P1`` from a 30 s
+interictal segment, the ictal prototype ``P2`` from 10-30 s of seizure.
+Classification compares a query H to every prototype by Hamming distance
+and returns the argmin label; the distances themselves feed the
+postprocessor's confidence score delta = |eta(H, P1) - eta(H, P2)|.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hdc.backend import hamming_distance_packed, pack_bits
+from repro.hdc.ops import BundleAccumulator
+
+
+class PrototypeAccumulator:
+    """Streaming trainer for one class prototype.
+
+    Thin wrapper over :class:`BundleAccumulator` that records how many
+    H vectors contributed — useful for reporting and for the invariant
+    tests (a prototype trained from one vector equals that vector).
+    """
+
+    def __init__(self, dim: int) -> None:
+        self._bundle = BundleAccumulator(dim)
+
+    @property
+    def n_vectors(self) -> int:
+        """Number of H vectors accumulated."""
+        return self._bundle.count
+
+    def add(self, h_vectors: np.ndarray) -> "PrototypeAccumulator":
+        """Accumulate one ``(d,)`` vector or a ``(k, d)`` batch."""
+        self._bundle.add(h_vectors)
+        return self
+
+    def finalize(self) -> np.ndarray:
+        """Produce the majority-thresholded prototype, uint8 ``(d,)``."""
+        return self._bundle.finalize()
+
+
+class AssociativeMemory:
+    """Nearest-prototype classifier over binary hypervectors.
+
+    Prototypes are stored both unpacked (for inspection) and packed (for
+    XOR + popcount queries, mirroring the GPU classification kernel).
+
+    Args:
+        dim: Hypervector dimension d.
+    """
+
+    def __init__(self, dim: int) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self.dim = dim
+        self._labels: list[int] = []
+        self._prototypes: list[np.ndarray] = []
+        self._packed: np.ndarray | None = None
+
+    @property
+    def labels(self) -> list[int]:
+        """Stored class labels in insertion order."""
+        return list(self._labels)
+
+    @property
+    def n_classes(self) -> int:
+        """Number of stored prototypes."""
+        return len(self._labels)
+
+    def prototype(self, label: int) -> np.ndarray:
+        """The stored prototype for ``label`` (uint8 copy)."""
+        try:
+            idx = self._labels.index(label)
+        except ValueError:
+            raise KeyError(f"no prototype stored for label {label}") from None
+        return self._prototypes[idx].copy()
+
+    def store(self, label: int, prototype: np.ndarray) -> None:
+        """Insert or replace the prototype of class ``label``."""
+        arr = np.asarray(prototype, dtype=np.uint8)
+        if arr.shape != (self.dim,):
+            raise ValueError(
+                f"prototype must have shape ({self.dim},), got {arr.shape}"
+            )
+        if np.any(arr > 1):
+            raise ValueError("prototype components must be 0/1")
+        if label in self._labels:
+            self._prototypes[self._labels.index(label)] = arr.copy()
+        else:
+            self._labels.append(label)
+            self._prototypes.append(arr.copy())
+        self._packed = pack_bits(np.stack(self._prototypes))
+
+    def train(self, label: int, h_vectors: np.ndarray) -> None:
+        """Bundle a batch of H vectors into the prototype of ``label``."""
+        acc = PrototypeAccumulator(self.dim)
+        acc.add(h_vectors)
+        self.store(label, acc.finalize())
+
+    def distances(self, h_vectors: np.ndarray) -> np.ndarray:
+        """Hamming distances from queries to every prototype.
+
+        Args:
+            h_vectors: One ``(d,)`` query or a batch ``(n, d)``.
+
+        Returns:
+            int64 array ``(n, n_classes)`` (``(n_classes,)`` for a single
+            query), columns ordered like :attr:`labels`.
+        """
+        if self._packed is None:
+            raise RuntimeError("associative memory has no prototypes")
+        arr = np.asarray(h_vectors, dtype=np.uint8)
+        single = arr.ndim == 1
+        if single:
+            arr = arr[None, :]
+        if arr.shape[1] != self.dim:
+            raise ValueError(f"queries must have dimension {self.dim}")
+        packed_queries = pack_bits(arr)
+        dists = hamming_distance_packed(
+            packed_queries[:, None, :], self._packed[None, :, :]
+        )
+        return dists[0] if single else dists
+
+    def classify(self, h_vectors: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Nearest-prototype labels and the full distance matrix.
+
+        Returns:
+            ``(labels, distances)`` where ``labels`` is an int64 array of
+            class labels (ties resolve to the earliest-stored class, i.e.
+            interictal when stored first — the conservative choice for a
+            detector) and ``distances`` is as in :meth:`distances`.
+        """
+        dists = self.distances(h_vectors)
+        label_arr = np.asarray(self._labels, dtype=np.int64)
+        idx = np.argmin(dists, axis=-1)
+        return label_arr[idx], dists

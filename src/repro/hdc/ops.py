@@ -1,0 +1,140 @@
+"""HD arithmetic: binding, bundling, permutation, similarity.
+
+The paper uses exactly two combining operations (Sec. II-B):
+
+* **binding** — componentwise XOR; produces a vector dissimilar to its
+  inputs, used to pair an electrode-name vector with an LBP-code vector;
+* **bundling** — componentwise majority; produces a vector similar to its
+  inputs, used to superpose the per-electrode bound vectors (the spatial
+  record ``S``) and the per-sample records over time (the histogram
+  vector ``H``).
+
+The majority convention follows the paper verbatim: the result component
+is 0 when at least half of the ``k`` inputs are 0, i.e. 1 only when
+*strictly more* than ``k // 2`` inputs are 1 (ties on an even number of
+inputs break to 0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bind(*vectors: np.ndarray) -> np.ndarray:
+    """Bind hypervectors by componentwise XOR.
+
+    Accepts two or more unpacked (or packed — XOR commutes with packing)
+    vectors and reduces them left to right.  Binding is associative,
+    commutative, and self-inverse: ``bind(a, bind(a, b)) == b``.
+    """
+    if len(vectors) < 2:
+        raise ValueError("bind needs at least two vectors")
+    out = np.bitwise_xor(vectors[0], vectors[1])
+    for vec in vectors[2:]:
+        out = np.bitwise_xor(out, vec)
+    return out
+
+
+def majority_from_counts(counts: np.ndarray, k: int) -> np.ndarray:
+    """Binarise per-component 1-counts of ``k`` bundled inputs.
+
+    Args:
+        counts: Integer array of per-component counts in ``[0, k]``.
+        k: Number of bundled inputs.
+
+    Returns:
+        uint8 array: 1 where strictly more than ``k // 2`` inputs were 1.
+    """
+    if k < 1:
+        raise ValueError(f"bundle size must be >= 1, got {k}")
+    return (np.asarray(counts) > (k // 2)).astype(np.uint8)
+
+
+def bundle(vectors: np.ndarray | list[np.ndarray]) -> np.ndarray:
+    """Bundle unpacked hypervectors by componentwise majority.
+
+    Args:
+        vectors: Array ``(k, d)`` (or a list of ``k`` arrays ``(d,)``) of
+            0/1 components.
+
+    Returns:
+        uint8 array ``(d,)``, the thresholded sum.
+    """
+    arr = np.asarray(vectors)
+    if arr.ndim != 2:
+        raise ValueError(f"expected (k, d) stack of vectors, got {arr.shape}")
+    k = arr.shape[0]
+    counts = arr.sum(axis=0, dtype=np.int64)
+    return majority_from_counts(counts, k)
+
+
+def permute(vector: np.ndarray, shift: int = 1) -> np.ndarray:
+    """Cyclically permute an unpacked hypervector.
+
+    Permutation generates a vector nearly orthogonal to its input and is
+    the standard HD mechanism for encoding sequence position.  Laelaps
+    itself does not need it (the LBP code already encodes local order) but
+    it is part of the substrate's algebra and used in tests.
+    """
+    arr = np.asarray(vector)
+    return np.roll(arr, shift, axis=-1)
+
+
+def normalized_hamming(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Hamming distance divided by the dimension, in ``[0, 1]``.
+
+    Random unrelated hypervectors concentrate tightly around 0.5.
+    """
+    a_arr = np.asarray(a)
+    b_arr = np.asarray(b)
+    if a_arr.shape[-1] != b_arr.shape[-1]:
+        raise ValueError(
+            f"dimension mismatch: {a_arr.shape[-1]} vs {b_arr.shape[-1]}"
+        )
+    dim = a_arr.shape[-1]
+    return np.count_nonzero(a_arr != b_arr, axis=-1) / dim
+
+
+class BundleAccumulator:
+    """Streaming bundler: add unpacked vectors one batch at a time.
+
+    Keeps exact integer per-component counters so the final majority is
+    identical to materialising all inputs at once — this is how prototype
+    vectors are trained from long H streams without holding them in memory.
+    """
+
+    def __init__(self, dim: int) -> None:
+        if dim < 1:
+            raise ValueError(f"dimension must be >= 1, got {dim}")
+        self.dim = dim
+        self._counts = np.zeros(dim, dtype=np.int64)
+        self._n = 0
+
+    @property
+    def count(self) -> int:
+        """Number of vectors bundled so far."""
+        return self._n
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Per-component 1-counts accumulated so far (read-only copy)."""
+        return self._counts.copy()
+
+    def add(self, vectors: np.ndarray) -> "BundleAccumulator":
+        """Add one vector ``(d,)`` or a batch ``(k, d)``; returns self."""
+        arr = np.asarray(vectors)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        if arr.ndim != 2 or arr.shape[1] != self.dim:
+            raise ValueError(
+                f"expected (k, {self.dim}) batch, got shape {arr.shape}"
+            )
+        self._counts += arr.sum(axis=0, dtype=np.int64)
+        self._n += arr.shape[0]
+        return self
+
+    def finalize(self) -> np.ndarray:
+        """Majority-threshold the accumulated counts into a uint8 vector."""
+        if self._n == 0:
+            raise ValueError("cannot finalize an empty bundle")
+        return majority_from_counts(self._counts, self._n)

@@ -1,0 +1,118 @@
+"""Temporal histogram encoder: bundle spatial records over a window.
+
+The d-bit vector ``H`` estimates the LBP-code histogram of a 1 s analysis
+window by bundling the 512 spatial records produced inside it
+(Sec. III-B):  ``H = [S_1 + S_2 + ... + S_512]``, recomputed every 0.5 s.
+
+The implementation mirrors the GPU dataflow of Fig. 2: the per-component
+sums of the ``S`` vectors are accumulated per 0.5 s *block* and one window
+is the sum of adjacent blocks, so a recording of any length streams
+through in O(d) memory and every ``S`` is encoded exactly once even though
+windows overlap.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.hdc.ops import majority_from_counts
+from repro.hdc.spatial import SpatialEncoder
+from repro.signal.windows import WindowSpec
+
+
+class TemporalEncoder:
+    """Streaming window bundler over spatial records.
+
+    Args:
+        spatial: The spatial encoder producing per-sample records.
+        spec: Window geometry in samples; ``window_samples`` must be an
+            integer multiple of ``step_samples`` (the paper uses 512/256)
+            so windows tile exactly into blocks.
+    """
+
+    def __init__(self, spatial: SpatialEncoder, spec: WindowSpec) -> None:
+        if spec.window_samples % spec.step_samples != 0:
+            raise ValueError(
+                "window must be an integer multiple of the step, got "
+                f"{spec.window_samples}/{spec.step_samples}"
+            )
+        self.spatial = spatial
+        self.spec = spec
+        self.blocks_per_window = spec.window_samples // spec.step_samples
+        self.dim = spatial.dim
+        self._pending = np.zeros((0, spatial.n_electrodes), dtype=np.int64)
+        self._block_sums: deque[np.ndarray] = deque(maxlen=self.blocks_per_window)
+
+    def reset(self) -> None:
+        """Drop buffered samples and block sums (start of a new record)."""
+        self._pending = np.zeros((0, self.spatial.n_electrodes), dtype=np.int64)
+        self._block_sums.clear()
+
+    def _consume_block(self, block_codes: np.ndarray) -> np.ndarray | None:
+        """Encode one full block; return an H vector once enough blocks exist."""
+        s_bits = self.spatial.encode(block_codes)
+        self._block_sums.append(s_bits.sum(axis=0, dtype=np.int32))
+        if len(self._block_sums) < self.blocks_per_window:
+            return None
+        window_counts = np.sum(self._block_sums, axis=0)
+        return majority_from_counts(window_counts, self.spec.window_samples)
+
+    def feed(self, codes: np.ndarray) -> np.ndarray:
+        """Push a chunk of per-sample codes; return completed H vectors.
+
+        Args:
+            codes: Integer array ``(n_samples, n_electrodes)`` — any chunk
+                size; samples are buffered across calls.
+
+        Returns:
+            uint8 array ``(n_new_windows, d)`` of H vectors completed by
+            this chunk (possibly empty).
+        """
+        arr = np.asarray(codes)
+        if arr.ndim != 2 or arr.shape[1] != self.spatial.n_electrodes:
+            raise ValueError(
+                f"expected (n_samples, {self.spatial.n_electrodes}), "
+                f"got {arr.shape}"
+            )
+        if self._pending.size:
+            arr = np.concatenate([self._pending, arr], axis=0)
+        step = self.spec.step_samples
+        outputs = []
+        offset = 0
+        while arr.shape[0] - offset >= step:
+            h = self._consume_block(arr[offset : offset + step])
+            if h is not None:
+                outputs.append(h)
+            offset += step
+        self._pending = arr[offset:].copy()
+        if not outputs:
+            return np.zeros((0, self.dim), dtype=np.uint8)
+        return np.stack(outputs)
+
+    def encode_all(self, codes: np.ndarray) -> np.ndarray:
+        """Encode a complete code stream into all its H vectors.
+
+        Equivalent to ``reset()`` followed by one big ``feed``; trailing
+        samples that do not fill a block are discarded.
+        """
+        self.reset()
+        return self.feed(codes)
+
+
+def encode_recording(
+    codes: np.ndarray, spatial: SpatialEncoder, spec: WindowSpec
+) -> np.ndarray:
+    """One-shot encoding of a multichannel code stream into H vectors.
+
+    Args:
+        codes: Integer array ``(n_samples, n_electrodes)``.
+        spatial: Configured spatial encoder.
+        spec: Window geometry (window a multiple of step).
+
+    Returns:
+        uint8 array ``(n_windows, d)``; window ``i`` covers code samples
+        ``[i * step, i * step + window)``.
+    """
+    return TemporalEncoder(spatial, spec).encode_all(codes)

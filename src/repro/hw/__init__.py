@@ -1,0 +1,57 @@
+"""Tegra X2 performance/energy model (Sec. V of the paper).
+
+The paper measures execution time and energy per 0.5 s classification
+event on an Nvidia Jetson TX2 in the Max-Q power mode.  No TX2 is
+available here, so this package provides an analytic substitute (see
+DESIGN.md, substitution table):
+
+* :mod:`repro.hw.platform` — the TX2 resource description (SMs, clocks,
+  shared memory, DRAM bandwidth, Max-Q power envelope);
+* :mod:`repro.hw.kernels` — a kernel-grid cost model (wave scheduling,
+  launch overhead, compute vs memory boundedness) plus the three Laelaps
+  kernels of Fig. 2 with instruction counts derived from this repo's own
+  implementation;
+* :mod:`repro.hw.methods` — operation/byte counts of all four methods as
+  a function of electrode count;
+* :mod:`repro.hw.calibration` — the paper's Table II anchor measurements
+  and the fitting of per-method throughput/power constants to them;
+* :mod:`repro.hw.energy` — the user-facing estimator regenerating
+  Table II, Fig. 3 and the electrode-scaling claims.
+"""
+
+from repro.hw.calibration import TABLE2_ANCHORS, CalibratedMethod, calibrate
+from repro.hw.energy import (
+    CostEstimate,
+    MethodCostModel,
+    electrode_scaling,
+    fig3_points,
+    table2,
+)
+from repro.hw.kernels import (
+    KernelCost,
+    KernelSpec,
+    laelaps_kernels,
+    simulate_kernel,
+    simulate_kernels,
+)
+from repro.hw.methods import method_op_counts
+from repro.hw.platform import MAXQ, TX2Platform
+
+__all__ = [
+    "TX2Platform",
+    "MAXQ",
+    "KernelSpec",
+    "KernelCost",
+    "simulate_kernel",
+    "simulate_kernels",
+    "laelaps_kernels",
+    "method_op_counts",
+    "TABLE2_ANCHORS",
+    "CalibratedMethod",
+    "calibrate",
+    "MethodCostModel",
+    "CostEstimate",
+    "table2",
+    "fig3_points",
+    "electrode_scaling",
+]

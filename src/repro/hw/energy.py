@@ -1,0 +1,158 @@
+"""User-facing TX2 cost estimation: Table II, Fig. 3, scaling sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.calibration import TABLE2_ANCHORS, CalibratedMethod, calibrate
+from repro.hw.kernels import laelaps_kernels, simulate_kernels
+from repro.hw.platform import MAXQ, TX2Platform
+
+#: Mean FDR of each method in the paper (Table I), used as the Fig. 3
+#: y-axis when no measured cohort FDRs are supplied.
+PAPER_MEAN_FDR: dict[str, float] = {
+    "laelaps": 0.0,
+    "svm": 0.31,
+    "cnn": 0.36,
+    "lstm": 0.54,
+}
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Modelled cost of one 0.5 s classification event."""
+
+    method: str
+    n_electrodes: int
+    time_ms: float
+    energy_mj: float
+    resource: str
+
+    def speedup_vs(self, other: "CostEstimate") -> float:
+        """How much slower ``other`` is (other.time / self.time)."""
+        return other.time_ms / self.time_ms
+
+    def energy_saving_vs(self, other: "CostEstimate") -> float:
+        """How much more energy ``other`` uses."""
+        return other.energy_mj / self.energy_mj
+
+
+class MethodCostModel:
+    """Calibrated cost model over the four Table II methods.
+
+    Args:
+        platform: TX2 description (used for the kernel-level checks and
+            shared-memory validation; Max-Q by default).
+        anchors: Calibration measurements; the paper's Table II by
+            default.
+    """
+
+    def __init__(
+        self,
+        platform: TX2Platform = MAXQ,
+        anchors: dict[str, dict[int, tuple[float, float]]] | None = None,
+    ) -> None:
+        self.platform = platform
+        self.methods: dict[str, CalibratedMethod] = calibrate(
+            anchors or TABLE2_ANCHORS
+        )
+
+    def estimate(self, method: str, n_electrodes: int) -> CostEstimate:
+        """Cost of one classification event."""
+        if method not in self.methods:
+            raise KeyError(
+                f"unknown method {method!r}; choose from {sorted(self.methods)}"
+            )
+        if n_electrodes < 1:
+            raise ValueError("n_electrodes must be >= 1")
+        cal = self.methods[method]
+        return CostEstimate(
+            method=method,
+            n_electrodes=n_electrodes,
+            time_ms=cal.time_ms(n_electrodes),
+            energy_mj=cal.energy_mj(n_electrodes),
+            resource=cal.resource,
+        )
+
+    def laelaps_kernel_breakdown(
+        self, n_electrodes: int, dim: int = 1_000
+    ) -> tuple[float, list]:
+        """Kernel-level view of the Laelaps event (Fig. 2 structure)."""
+        specs = laelaps_kernels(n_electrodes, dim)
+        for spec in specs:
+            if not self.platform.shared_mem_fits(spec.shared_mem_bytes):
+                raise ValueError(
+                    f"kernel {spec.name}: shared memory "
+                    f"{spec.shared_mem_bytes} B exceeds the SM budget"
+                )
+        return simulate_kernels(specs, self.platform)
+
+
+def table2(
+    model: MethodCostModel | None = None,
+    electrode_counts: tuple[int, ...] = (128, 24),
+) -> list[dict[str, object]]:
+    """Regenerate Table II: per-method time/energy with Laelaps ratios.
+
+    Returns one dict per (electrode count, method) in the paper's order,
+    with ``time_ratio`` / ``energy_ratio`` relative to Laelaps.
+    """
+    model = model or MethodCostModel()
+    rows: list[dict[str, object]] = []
+    for n in electrode_counts:
+        base = model.estimate("laelaps", n)
+        for method in ("laelaps", "svm", "cnn", "lstm"):
+            est = model.estimate(method, n)
+            rows.append(
+                {
+                    "electrodes": n,
+                    "method": method,
+                    "resource": est.resource,
+                    "time_ms": est.time_ms,
+                    "energy_mj": est.energy_mj,
+                    "time_ratio": est.time_ms / base.time_ms,
+                    "energy_ratio": est.energy_mj / base.energy_mj,
+                }
+            )
+    return rows
+
+
+def fig3_points(
+    fdr_by_method: dict[str, float] | None = None,
+    n_electrodes: int = 64,
+    model: MethodCostModel | None = None,
+) -> list[dict[str, float | str]]:
+    """Regenerate Fig. 3: mean FDR vs energy per classification.
+
+    Args:
+        fdr_by_method: Measured cohort FDRs (e.g. from a Table I run);
+            defaults to the paper's means.
+        n_electrodes: 64 — the cohort's median electrode count.
+        model: Cost model (default: calibrated Max-Q).
+    """
+    model = model or MethodCostModel()
+    fdrs = fdr_by_method or PAPER_MEAN_FDR
+    points: list[dict[str, float | str]] = []
+    for method, fdr in fdrs.items():
+        est = model.estimate(method, n_electrodes)
+        points.append(
+            {
+                "method": method,
+                "resource": est.resource,
+                "energy_mj": est.energy_mj,
+                "fdr_per_hour": float(fdr),
+            }
+        )
+    return points
+
+
+def electrode_scaling(
+    electrode_counts: tuple[int, ...] = (24, 32, 48, 64, 96, 128),
+    model: MethodCostModel | None = None,
+) -> dict[str, list[CostEstimate]]:
+    """Sec. V-C scaling sweep: cost vs electrode count per method."""
+    model = model or MethodCostModel()
+    return {
+        method: [model.estimate(method, n) for n in electrode_counts]
+        for method in model.methods
+    }

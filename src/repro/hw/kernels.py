@@ -1,0 +1,156 @@
+"""GPU kernel-grid cost model and the three Laelaps kernels of Fig. 2.
+
+The timing model is deliberately simple but structurally faithful:
+
+* thread blocks are scheduled onto SMs in waves;
+* a kernel's compute time is ``waves * cycles_per_block / clock``;
+* its memory time is ``dram_bytes / bandwidth``;
+* the kernel takes ``launch_overhead + max(compute, memory)`` —
+  whichever resource bounds it (the paper notes the LSTM is memory
+  bound while the CNN is compute bound);
+* per-block cycle counts come from instruction counts of the actual
+  dataflow (XOR / ballot-transpose / popcount for the encoding kernel,
+  etc.) divided by the SM's issue width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.platform import TX2Platform
+
+#: Instructions an SM can retire per cycle (128 cores, warp-issue
+#: limited; a conservative effective value for integer-heavy kernels).
+_ISSUE_WIDTH = 64.0
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A GPU kernel's resource footprint.
+
+    Attributes:
+        name: Kernel label (for reports).
+        blocks: Grid size in thread blocks.
+        threads_per_block: Block size.
+        instructions_per_thread: Dynamic instruction count per thread.
+        shared_mem_bytes: Shared memory per block.
+        dram_bytes: Global-memory traffic of the whole kernel.
+    """
+
+    name: str
+    blocks: int
+    threads_per_block: int
+    instructions_per_thread: float
+    shared_mem_bytes: int = 0
+    dram_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.blocks < 1 or self.threads_per_block < 1:
+            raise ValueError(f"{self.name}: empty kernel grid")
+        if self.instructions_per_thread < 0 or self.dram_bytes < 0:
+            raise ValueError(f"{self.name}: negative cost")
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Modelled execution cost of one kernel."""
+
+    name: str
+    time_ms: float
+    compute_ms: float
+    memory_ms: float
+    launch_ms: float
+
+    @property
+    def bound(self) -> str:
+        """Which resource limits the kernel."""
+        return "compute" if self.compute_ms >= self.memory_ms else "memory"
+
+
+def simulate_kernel(spec: KernelSpec, platform: TX2Platform) -> KernelCost:
+    """Model one kernel's execution time on the platform."""
+    # Wave scheduling: how many blocks run concurrently per SM is limited
+    # by the thread budget (shared memory is checked, not modelled as a
+    # second limiter — the Laelaps kernels are sized to fit, Sec. V-B).
+    blocks_per_sm = max(1, platform.max_threads_per_sm // spec.threads_per_block)
+    concurrent = blocks_per_sm * platform.gpu_sms
+    waves = -(-spec.blocks // concurrent)  # ceil division
+    cycles_per_block = (
+        spec.instructions_per_thread * spec.threads_per_block / _ISSUE_WIDTH
+    )
+    compute_s = waves * cycles_per_block / (platform.gpu_clock_ghz * 1e9)
+    memory_s = spec.dram_bytes / (platform.dram_bandwidth_gbs * 1e9)
+    launch_s = platform.kernel_launch_overhead_us * 1e-6
+    total_s = launch_s + max(compute_s, memory_s)
+    return KernelCost(
+        name=spec.name,
+        time_ms=total_s * 1e3,
+        compute_ms=compute_s * 1e3,
+        memory_ms=memory_s * 1e3,
+        launch_ms=launch_s * 1e3,
+    )
+
+
+def simulate_kernels(
+    specs: list[KernelSpec], platform: TX2Platform
+) -> tuple[float, list[KernelCost]]:
+    """Model a kernel sequence; returns total time (ms) and per-kernel costs."""
+    costs = [simulate_kernel(spec, platform) for spec in specs]
+    return sum(c.time_ms for c in costs), costs
+
+
+def laelaps_kernels(
+    n_electrodes: int,
+    dim: int = 1_000,
+    samples_per_step: int = 256,
+    lbp_length: int = 6,
+) -> list[KernelSpec]:
+    """The three kernels of Fig. 2 for one 0.5 s classification event.
+
+    * **LBP kernel** — one block per electrode, one thread per sample of
+      the 0.5 s step; each thread compares adjacent samples and
+      assembles an ``lbp_length``-bit code.
+    * **Encoding kernel** — 32 blocks (one per 32-bit chunk of the
+      d-bit vector) of 32 threads; per time step each thread loads two
+      IM words, XORs them, joins a 32 x 32 bit transpose (ballot) and a
+      popcount per electrode group of 32.
+    * **Classification kernel** — one block of 32 threads computing two
+      Hamming distances over d bits plus the postprocessing.
+    """
+    if n_electrodes < 1 or dim < 32:
+        raise ValueError("need >= 1 electrode and dim >= 32")
+    words = dim // 32
+    electrode_groups = -(-n_electrodes // 32)
+
+    lbp = KernelSpec(
+        name="lbp",
+        blocks=n_electrodes,
+        threads_per_block=samples_per_step,
+        # load sample, diff/sign, shift-or over lbp_length bits, store
+        instructions_per_thread=4.0 + 2.0 * lbp_length,
+        shared_mem_bytes=samples_per_step * 4,
+        dram_bytes=n_electrodes * samples_per_step * 4 * 2,
+    )
+    encoding = KernelSpec(
+        name="encoding",
+        blocks=32,
+        threads_per_block=32,
+        # per time step: 2 shared loads + XOR, 32-wide ballot transpose
+        # (~32 ops amortised to 1/thread per row), popcount + add per
+        # electrode group, then binarise + accumulate for H.
+        instructions_per_thread=samples_per_step
+        * (4.0 + 2.0 * electrode_groups)
+        + 2.0 * words,
+        shared_mem_bytes=(64 + n_electrodes) * (dim // 8),
+        dram_bytes=(64 + n_electrodes) * (dim // 8) + dim // 8,
+    )
+    classification = KernelSpec(
+        name="classification",
+        blocks=1,
+        threads_per_block=32,
+        # two prototypes: XOR + popcount per word, tree reduction, voting
+        instructions_per_thread=2.0 * 3.0 * (words / 32.0) + 16.0,
+        shared_mem_bytes=2 * (dim // 8),
+        dram_bytes=3 * (dim // 8),
+    )
+    return [lbp, encoding, classification]

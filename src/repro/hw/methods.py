@@ -1,0 +1,137 @@
+"""Operation/byte counts of every method per 0.5 s classification event.
+
+These counts are derived from the implementations in this repository
+(which mirror the papers' architectures) and drive the *scaling* of the
+cost model: Laelaps's work is almost independent of the electrode count
+(the encoding kernel folds 32 electrodes per popcount and everything
+else is fixed-size), while the SVM, CNN and LSTM all process
+per-electrode features and therefore scale linearly — the structural
+claim behind Table II and Sec. V-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OpCounts:
+    """Work per classification event.
+
+    Attributes:
+        flops: Floating-point (or integer ALU) operations.
+        dram_bytes: Global-memory traffic in bytes.
+        kernel_launches: Number of device-kernel / library-call
+            dispatches (each paying fixed launch overhead).
+    """
+
+    flops: float
+    dram_bytes: float
+    kernel_launches: int
+
+
+def laelaps_op_counts(
+    n_electrodes: int,
+    dim: int = 1_000,
+    samples_per_step: int = 256,
+    lbp_length: int = 6,
+) -> OpCounts:
+    """LBP + HD encoding + AM query (all binary ops)."""
+    lbp_ops = n_electrodes * samples_per_step * (4 + 2 * lbp_length)
+    # Per time step and per 32-bit vector chunk: XOR, ballot transpose,
+    # one popcount per group of 32 electrodes, accumulate.
+    groups = -(-n_electrodes // 32)
+    words = dim // 32
+    encode_ops = samples_per_step * words * (4 + 2 * groups)
+    classify_ops = 3 * 2 * words + 64
+    dram = (
+        n_electrodes * samples_per_step * 4  # raw samples in
+        + (64 + n_electrodes) * dim / 8  # item memories (once, cached)
+        + 3 * dim / 8  # H + two prototypes
+    )
+    return OpCounts(
+        flops=float(lbp_ops + encode_ops + classify_ops),
+        dram_bytes=float(dram),
+        kernel_launches=3,
+    )
+
+
+def svm_op_counts(
+    n_electrodes: int,
+    samples_per_step: int = 256,
+    lbp_length: int = 6,
+    alphabet: int = 64,
+) -> OpCounts:
+    """LBP histogram features + linear decision function."""
+    feature_dim = n_electrodes * alphabet
+    lbp_ops = n_electrodes * samples_per_step * (4 + 2 * lbp_length)
+    histogram_ops = n_electrodes * samples_per_step * 2
+    dot_ops = 2 * feature_dim
+    dram = n_electrodes * samples_per_step * 4 + feature_dim * 8 * 2
+    return OpCounts(
+        flops=float(lbp_ops + histogram_ops + dot_ops),
+        dram_bytes=float(dram),
+        kernel_launches=2,
+    )
+
+
+def cnn_op_counts(
+    n_electrodes: int,
+    samples_per_step: int = 256,
+    image_hw: int = 16,
+    channels: tuple[int, int] = (8, 16),
+) -> OpCounts:
+    """Per-electrode STFT + convolutional network.
+
+    Truong et al. compute one spectrogram per electrode and convolve over
+    the stacked image, so both the STFT and the first convolution scale
+    with the electrode count.
+    """
+    fft_ops = n_electrodes * 16 * (5 * 30 * 5)  # 16 frames of ~30-pt rFFT
+    c1, c2 = channels
+    conv1 = 2 * n_electrodes * c1 * 9 * image_hw * image_hw
+    conv2 = 2 * c1 * c2 * 9 * (image_hw // 2) ** 2
+    head = 2 * c2 * (image_hw // 4) ** 2 * 32 + 2 * 32 * 2
+    dram = n_electrodes * (samples_per_step * 4 + image_hw * image_hw * 4)
+    return OpCounts(
+        flops=float(fft_ops + conv1 + conv2 + head),
+        dram_bytes=float(dram),
+        kernel_launches=8,
+    )
+
+
+def lstm_op_counts(
+    n_electrodes: int,
+    samples_per_step: int = 256,
+    hidden: int = 100,
+) -> OpCounts:
+    """Per-electrode recurrent network (Hussein et al. feed raw EEG).
+
+    An LSTM step costs ``8 * h * (h + x)`` MACs; with one sequence per
+    electrode the work — and, worse, the weight traffic per step, which
+    is what makes the LSTM memory bound (Sec. V-C) — scales linearly
+    with the electrode count.
+    """
+    steps = samples_per_step
+    macs_per_step = 4 * hidden * (hidden + 1) * 2
+    flops = n_electrodes * steps * macs_per_step
+    weight_bytes = 4 * hidden * (hidden + 1) * 4
+    dram = n_electrodes * steps * weight_bytes  # weights re-streamed
+    return OpCounts(
+        flops=float(flops),
+        dram_bytes=float(dram),
+        kernel_launches=steps // 8,
+    )
+
+
+def method_op_counts(method: str, n_electrodes: int, **kwargs) -> OpCounts:
+    """Dispatch table over the four Table II methods."""
+    table = {
+        "laelaps": laelaps_op_counts,
+        "svm": svm_op_counts,
+        "cnn": cnn_op_counts,
+        "lstm": lstm_op_counts,
+    }
+    if method not in table:
+        raise KeyError(f"unknown method {method!r}; choose from {sorted(table)}")
+    return table[method](n_electrodes, **kwargs)

@@ -1,0 +1,65 @@
+"""Tegra X2 resource description.
+
+Numbers from Sec. V-A of the paper and the public TX2 datasheet: a
+256-core Pascal GPU (2 SMs), a dual-core Denver2 plus quad-core
+Cortex-A57 CPU complex, 58.4 GB/s of LPDDR4 bandwidth, and roughly 15 W
+peak.  The Max-Q power mode — used for all the paper's measurements —
+runs the ARM cluster at 1.2 GHz and the GPU at 0.85 GHz for maximum
+energy efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TX2Platform:
+    """Static platform model of the Jetson TX2.
+
+    Attributes:
+        name: Configuration label.
+        gpu_sms: Number of streaming multiprocessors.
+        gpu_cores: Total CUDA cores.
+        gpu_clock_ghz: GPU clock in the selected power mode.
+        cpu_cores: Usable CPU cores.
+        cpu_clock_ghz: CPU clock in the selected power mode.
+        dram_bandwidth_gbs: Peak DRAM bandwidth, GB/s.
+        shared_mem_per_sm_kb: GPU shared memory per SM (Sec. V-B sizes
+            the item memories against this).
+        max_threads_per_sm: Resident-thread ceiling per SM.
+        kernel_launch_overhead_us: Fixed host-side cost per kernel launch
+            (driver + dispatch); dominates tiny kernels.
+        active_power_w: Mean board power while classifying (the paper's
+            energy/time anchor pairs imply 2-3 W in Max-Q).
+    """
+
+    name: str = "jetson-tx2-maxq"
+    gpu_sms: int = 2
+    gpu_cores: int = 256
+    gpu_clock_ghz: float = 0.85
+    cpu_cores: int = 6
+    cpu_clock_ghz: float = 1.2
+    dram_bandwidth_gbs: float = 58.4
+    shared_mem_per_sm_kb: float = 64.0
+    max_threads_per_sm: int = 2048
+    kernel_launch_overhead_us: float = 10.0
+    active_power_w: float = 2.5
+
+    @property
+    def cores_per_sm(self) -> int:
+        """CUDA cores per SM."""
+        return self.gpu_cores // self.gpu_sms
+
+    @property
+    def gpu_flops_per_s(self) -> float:
+        """Peak single-precision FLOP/s (one FMA = 2 FLOPs per core)."""
+        return self.gpu_cores * self.gpu_clock_ghz * 1e9 * 2.0
+
+    def shared_mem_fits(self, bytes_needed: int) -> bool:
+        """Whether a kernel's shared-memory footprint fits one SM."""
+        return bytes_needed <= self.shared_mem_per_sm_kb * 1024
+
+
+#: The power mode used for every measurement in the paper.
+MAXQ = TX2Platform()

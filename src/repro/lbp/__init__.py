@@ -1,0 +1,43 @@
+"""Local-binary-pattern (LBP) symbolisation of iEEG signals.
+
+LBP codes transform a real-valued time series into a stream of small
+integer symbols that capture only the *relational* structure of the signal
+(whether the amplitude rises or falls between adjacent samples).  During
+interictal activity the code histogram is close to uniform; during seizures
+the slower, more asymmetric oscillations concentrate the histogram on a few
+codes — the separation Laelaps exploits.
+"""
+
+from repro.lbp.codes import (
+    LBPConfig,
+    lbp_codes,
+    lbp_codes_multichannel,
+    num_codes,
+    sign_bits,
+)
+from repro.lbp.histogram import (
+    code_histogram,
+    code_histogram_multichannel,
+    sliding_histograms,
+)
+from repro.lbp.stats import (
+    code_entropy,
+    dominant_code_fraction,
+    histogram_flatness,
+    occupied_fraction,
+)
+
+__all__ = [
+    "LBPConfig",
+    "sign_bits",
+    "lbp_codes",
+    "lbp_codes_multichannel",
+    "num_codes",
+    "code_histogram",
+    "code_histogram_multichannel",
+    "sliding_histograms",
+    "code_entropy",
+    "histogram_flatness",
+    "dominant_code_fraction",
+    "occupied_fraction",
+]

@@ -1,0 +1,103 @@
+"""Directed horizontal visibility graph (HVG) symbolisation.
+
+Sec. II-A of the paper argues that LBP codes are *more efficient* than
+other symbolisation methods, naming directed horizontal graphs
+(Schindler et al. 2016) "that assign an integer input and output degree
+to each time point".  This module implements that comparator so the
+claim can be tested (``benchmarks/bench_symbolization.py``): two samples
+``x[i]`` and ``x[j]`` (i < j) are connected when every sample between
+them is smaller than both; the symbol of a time point is its pair of
+(input, output) degrees, i.e. how many earlier/later points it "sees".
+
+Degrees are capped (they are unbounded in theory but heavy-tailed in
+practice) so the alphabet stays finite: a cap of 7 gives an 8 x 8 = 64
+symbol alphabet, directly comparable to 6-bit LBP codes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def hvg_degrees(signal: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """In/out degrees of the directed horizontal visibility graph.
+
+    The *out* degree of ``i`` counts later samples it sees; the *in*
+    degree counts earlier ones.  Computed in O(n) amortised with a
+    monotone stack: when ``x[j]`` arrives, every stacked sample smaller
+    than it is popped (their horizon closes at ``j``), and each pop adds
+    one edge.
+
+    Args:
+        signal: 1-D array of amplitudes.
+
+    Returns:
+        ``(in_degrees, out_degrees)`` int64 arrays aligned with the
+        signal.
+    """
+    x = np.asarray(signal, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"expected 1-D signal, got shape {x.shape}")
+    n = x.size
+    in_deg = np.zeros(n, dtype=np.int64)
+    out_deg = np.zeros(n, dtype=np.int64)
+    stack: list[int] = []
+    for j in range(n):
+        # Pop everything strictly below x[j]: those points see j as
+        # their last neighbour to the right.
+        while stack and x[stack[-1]] < x[j]:
+            i = stack.pop()
+            out_deg[i] += 1
+            in_deg[j] += 1
+        if stack:
+            # The first non-smaller sample also sees j (and stays, since
+            # it may see further points if equal-height plateaus end).
+            out_deg[stack[-1]] += 1
+            in_deg[j] += 1
+            if x[stack[-1]] == x[j]:
+                stack.pop()
+        stack.append(j)
+    return in_deg, out_deg
+
+
+def hvg_codes(
+    signal: np.ndarray, degree_cap: int = 7
+) -> np.ndarray:
+    """Symbol stream from capped (in, out) degree pairs.
+
+    Args:
+        signal: 1-D amplitude array.
+        degree_cap: Degrees above this are clipped; the alphabet is
+            ``(degree_cap + 1) ** 2`` symbols (64 at the default cap,
+            matching the 6-bit LBP alphabet).
+
+    Returns:
+        uint16 array of ``len(signal)`` symbols.
+    """
+    if degree_cap < 1:
+        raise ValueError(f"degree_cap must be >= 1, got {degree_cap}")
+    in_deg, out_deg = hvg_degrees(signal)
+    base = degree_cap + 1
+    codes = (
+        np.minimum(in_deg, degree_cap) * base
+        + np.minimum(out_deg, degree_cap)
+    )
+    return codes.astype(np.uint16)
+
+
+def hvg_codes_multichannel(
+    signal: np.ndarray, degree_cap: int = 7
+) -> np.ndarray:
+    """Per-channel HVG symbol streams, ``(n_samples, n_channels)``."""
+    arr = np.asarray(signal)
+    if arr.ndim != 2:
+        raise ValueError(f"expected (n_samples, n_channels), got {arr.shape}")
+    out = np.empty(arr.shape, dtype=np.uint16)
+    for ch in range(arr.shape[1]):
+        out[:, ch] = hvg_codes(arr[:, ch], degree_cap)
+    return out
+
+
+def hvg_alphabet_size(degree_cap: int = 7) -> int:
+    """Number of distinct HVG symbols at a degree cap."""
+    return (degree_cap + 1) ** 2

@@ -1,0 +1,53 @@
+"""A small from-scratch neural-network framework (numpy only).
+
+The paper's deep-learning baselines (STFT+CNN [Truong et al. 2018] and
+LSTM [Hussein et al. 2018]) were implemented with Keras/cuDNN; no
+deep-learning framework is available in this environment, so this package
+provides the required building blocks with explicit forward/backward
+passes:
+
+* layers: :class:`Linear`, :class:`Conv2d`, :class:`MaxPool2d`,
+  :class:`LSTM`, activations, :class:`Dropout`, :class:`Flatten`;
+* losses: softmax cross-entropy, hinge;
+* optimisers: SGD (with momentum), Adam;
+* :func:`repro.nn.gradcheck.gradient_check` for verifying every layer
+  against numerical gradients (used heavily by the test suite).
+
+The design is deliberately minimal: a :class:`Module` owns parameters and
+caches whatever its backward pass needs; ``Sequential`` chains modules.
+There is no autograd graph — each module implements its own ``backward``.
+"""
+
+from repro.nn.activations import LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.conv import Conv2d
+from repro.nn.init import he_init, xavier_init
+from repro.nn.linear import Linear
+from repro.nn.losses import hinge_loss, softmax_cross_entropy
+from repro.nn.module import Dropout, Flatten, Module, Parameter, Sequential
+from repro.nn.optim import SGD, Adam
+from repro.nn.pooling import GlobalAveragePool2d, MaxPool2d
+from repro.nn.rnn import LSTM, LSTMCell
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Flatten",
+    "Dropout",
+    "Linear",
+    "Conv2d",
+    "MaxPool2d",
+    "GlobalAveragePool2d",
+    "LSTM",
+    "LSTMCell",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "softmax_cross_entropy",
+    "hinge_loss",
+    "SGD",
+    "Adam",
+    "he_init",
+    "xavier_init",
+]

@@ -1,0 +1,129 @@
+"""2-D convolution via im2col."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import he_init
+from repro.nn.module import Module, Parameter
+
+
+def _im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+) -> tuple[np.ndarray, int, int]:
+    """Unfold ``(N, C, H, W)`` into ``(N * oh * ow, C * kh * kw)`` patches."""
+    n, c, h, w = x.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    oh = (h + 2 * pad - kh) // stride + 1
+    ow = (w + 2 * pad - kw) // stride + 1
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]  # (n, c, oh, ow, kh, kw)
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        n * oh * ow, c * kh * kw
+    )
+    return np.ascontiguousarray(cols), oh, ow
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+    oh: int,
+    ow: int,
+) -> np.ndarray:
+    """Fold patch gradients back onto the (padded) input, then unpad."""
+    n, c, h, w = x_shape
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad))
+    cols6 = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    for i in range(kh):
+        for j in range(kw):
+            padded[
+                :, :, i : i + stride * oh : stride, j : j + stride * ow : stride
+            ] += cols6[:, :, :, :, i, j]
+    if pad:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded
+
+
+class Conv2d(Module):
+    """2-D convolution over ``(batch, channels, height, width)`` inputs.
+
+    Args:
+        in_channels: Input channel count.
+        out_channels: Number of filters.
+        kernel_size: Square kernel side (int) or ``(kh, kw)``.
+        stride: Convolution stride (same both axes).
+        padding: Zero padding (same both axes).
+        seed: Seed for He initialisation.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int | tuple[int, int],
+        stride: int = 1,
+        padding: int = 0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        kh, kw = (
+            (kernel_size, kernel_size)
+            if isinstance(kernel_size, int)
+            else kernel_size
+        )
+        if min(kh, kw) < 1 or stride < 1 or padding < 0:
+            raise ValueError("invalid convolution geometry")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = stride
+        self.padding = padding
+        rng = np.random.default_rng(seed)
+        fan_in = in_channels * kh * kw
+        self.weight = Parameter(
+            he_init((out_channels, in_channels, kh, kw), fan_in, rng), "weight"
+        )
+        self.bias = Parameter(np.zeros(out_channels), "bias")
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+        self._out_hw: tuple[int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        arr = np.asarray(x, dtype=np.float64)
+        if arr.ndim != 4 or arr.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected (batch, {self.in_channels}, H, W), got {arr.shape}"
+            )
+        kh, kw = self.kernel_size
+        cols, oh, ow = _im2col(arr, kh, kw, self.stride, self.padding)
+        self._cols = cols
+        self._x_shape = arr.shape
+        self._out_hw = (oh, ow)
+        w2 = self.weight.data.reshape(self.out_channels, -1)
+        out = cols @ w2.T + self.bias.data
+        n = arr.shape[0]
+        return out.reshape(n, oh, ow, self.out_channels).transpose(0, 3, 1, 2)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None or self._out_hw is None:
+            raise RuntimeError("backward called before forward")
+        n = self._x_shape[0]
+        oh, ow = self._out_hw
+        grad = (
+            np.asarray(grad_out, dtype=np.float64)
+            .transpose(0, 2, 3, 1)
+            .reshape(n * oh * ow, self.out_channels)
+        )
+        w2 = self.weight.data.reshape(self.out_channels, -1)
+        self.weight.grad += (grad.T @ self._cols).reshape(self.weight.shape)
+        self.bias.grad += grad.sum(axis=0)
+        grad_cols = grad @ w2
+        kh, kw = self.kernel_size
+        return _col2im(
+            grad_cols, self._x_shape, kh, kw, self.stride, self.padding, oh, ow
+        )

@@ -1,0 +1,23 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_init(
+    shape: tuple[int, ...],
+    fan_in: int,
+    fan_out: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation (tanh/sigmoid networks)."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_init(
+    shape: tuple[int, ...], fan_in: int, rng: np.random.Generator
+) -> np.ndarray:
+    """He normal initialisation (ReLU networks)."""
+    return rng.standard_normal(shape) * np.sqrt(2.0 / fan_in)

@@ -1,0 +1,59 @@
+"""Fully connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import he_init
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b``.
+
+    Args:
+        in_features: Input dimension.
+        out_features: Output dimension.
+        seed: Seed for He initialisation.
+        bias: Include the additive bias term.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        seed: int = 0,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise ValueError("feature counts must be >= 1")
+        rng = np.random.default_rng(seed)
+        self.weight = Parameter(
+            he_init((in_features, out_features), in_features, rng), "weight"
+        )
+        self.bias = (
+            Parameter(np.zeros(out_features), "bias") if bias else None
+        )
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        arr = np.asarray(x, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != self.weight.shape[0]:
+            raise ValueError(
+                f"expected (batch, {self.weight.shape[0]}), got {arr.shape}"
+            )
+        self._x = arr
+        out = arr @ self.weight.data
+        if self.bias is not None:
+            out += self.bias.data
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        grad = np.asarray(grad_out, dtype=np.float64)
+        self.weight.grad += self._x.T @ grad
+        if self.bias is not None:
+            self.bias.grad += grad.sum(axis=0)
+        return grad @ self.weight.data.T

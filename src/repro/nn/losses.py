@@ -1,0 +1,65 @@
+"""Loss functions returning ``(loss, grad_wrt_logits)``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, numerically stabilised."""
+    arr = np.asarray(logits, dtype=np.float64)
+    shifted = arr - arr.max(axis=1, keepdims=True)
+    ex = np.exp(shifted)
+    return ex / ex.sum(axis=1, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, targets: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy over a batch.
+
+    Args:
+        logits: ``(batch, n_classes)`` raw scores.
+        targets: ``(batch,)`` integer class labels.
+
+    Returns:
+        ``(loss, grad)`` with ``grad`` already averaged over the batch.
+    """
+    arr = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(targets)
+    if arr.ndim != 2 or labels.ndim != 1 or arr.shape[0] != labels.shape[0]:
+        raise ValueError(
+            f"shape mismatch: logits {arr.shape}, targets {labels.shape}"
+        )
+    batch = arr.shape[0]
+    probs = softmax(arr)
+    eps = 1e-12
+    loss = float(
+        -np.log(probs[np.arange(batch), labels] + eps).mean()
+    )
+    grad = probs
+    grad[np.arange(batch), labels] -= 1.0
+    return loss, grad / batch
+
+
+def hinge_loss(
+    scores: np.ndarray, targets_pm1: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean binary hinge loss ``max(0, 1 - y * s)``.
+
+    Args:
+        scores: ``(batch,)`` real-valued margins.
+        targets_pm1: ``(batch,)`` labels in ``{-1, +1}``.
+
+    Returns:
+        ``(loss, grad_wrt_scores)``, gradient averaged over the batch.
+    """
+    s = np.asarray(scores, dtype=np.float64)
+    y = np.asarray(targets_pm1, dtype=np.float64)
+    if s.shape != y.shape or s.ndim != 1:
+        raise ValueError(f"shape mismatch: {s.shape} vs {y.shape}")
+    margins = 1.0 - y * s
+    active = margins > 0
+    loss = float(np.where(active, margins, 0.0).mean())
+    grad = np.where(active, -y, 0.0) / s.shape[0]
+    return loss, grad

@@ -1,0 +1,162 @@
+"""Module base class, parameters, and structural modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with its gradient accumulator.
+
+    Attributes:
+        data: The parameter values (float64 ndarray).
+        grad: Gradient of the loss w.r.t. ``data``; zeroed by
+            ``Module.zero_grad`` and accumulated by backward passes.
+        name: Optional identifier for debugging.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "") -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the parameter tensor."""
+        return self.data.shape
+
+    def __repr__(self) -> str:
+        return f"Parameter(name={self.name!r}, shape={self.shape})"
+
+
+class Module:
+    """Base class: owns parameters, submodules and a training flag.
+
+    Subclasses implement ``forward`` (caching what backward needs) and
+    ``backward`` (returning the gradient w.r.t. the forward input and
+    accumulating parameter gradients).
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- structure ------------------------------------------------------
+
+    def parameters(self) -> list[Parameter]:
+        """All parameters of this module and its submodules."""
+        found: list[Parameter] = []
+        for value in self.__dict__.values():
+            if isinstance(value, Parameter):
+                found.append(value)
+            elif isinstance(value, Module):
+                found.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        found.extend(item.parameters())
+        return found
+
+    def zero_grad(self) -> None:
+        """Reset every parameter gradient to zero."""
+        for param in self.parameters():
+            param.grad[...] = 0.0
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects e.g. Dropout)."""
+        self.training = mode
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                value.train(mode)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Set inference mode recursively."""
+        return self.train(False)
+
+    def n_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.data.size for p in self.parameters())
+
+    # -- computation ------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the module output (must cache for backward)."""
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Propagate ``dL/d(output)`` to ``dL/d(input)``."""
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.modules = list(modules)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = x
+        for module in self.modules:
+            out = module.forward(out)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = grad_out
+        for module in reversed(self.modules):
+            grad = module.backward(grad)
+        return grad
+
+
+class Flatten(Module):
+    """Flatten all axes except the batch axis."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out.reshape(self._shape)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode.
+
+    Args:
+        rate: Probability of zeroing an activation during training.
+        seed: Seed of the private mask generator (deterministic training).
+    """
+
+    def __init__(self, rate: float = 0.5, seed: int = 0) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask

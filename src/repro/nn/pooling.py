@@ -1,0 +1,77 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class MaxPool2d(Module):
+    """Non-overlapping max pooling over ``(batch, C, H, W)``.
+
+    Height/width must be divisible by the pool size (the detectors pad
+    their inputs accordingly); this keeps the backward pass an exact
+    scatter instead of dealing with ragged edges.
+    """
+
+    def __init__(self, pool: int = 2) -> None:
+        super().__init__()
+        if pool < 1:
+            raise ValueError(f"pool size must be >= 1, got {pool}")
+        self.pool = pool
+        self._argmax: np.ndarray | None = None
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        arr = np.asarray(x, dtype=np.float64)
+        n, c, h, w = arr.shape
+        p = self.pool
+        if h % p or w % p:
+            raise ValueError(
+                f"input {h}x{w} not divisible by pool size {p}"
+            )
+        blocks = arr.reshape(n, c, h // p, p, w // p, p)
+        flat = blocks.transpose(0, 1, 2, 4, 3, 5).reshape(
+            n, c, h // p, w // p, p * p
+        )
+        self._argmax = flat.argmax(axis=-1)
+        self._x_shape = arr.shape
+        return flat.max(axis=-1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._argmax is None or self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._x_shape
+        p = self.pool
+        grad = np.asarray(grad_out, dtype=np.float64)
+        flat = np.zeros((n, c, h // p, w // p, p * p))
+        np.put_along_axis(
+            flat, self._argmax[..., None], grad[..., None], axis=-1
+        )
+        blocks = flat.reshape(n, c, h // p, w // p, p, p).transpose(
+            0, 1, 2, 4, 3, 5
+        )
+        return blocks.reshape(n, c, h, w)
+
+
+class GlobalAveragePool2d(Module):
+    """Average over the spatial axes: ``(N, C, H, W) -> (N, C)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        arr = np.asarray(x, dtype=np.float64)
+        if arr.ndim != 4:
+            raise ValueError(f"expected (N, C, H, W), got {arr.shape}")
+        self._x_shape = arr.shape
+        return arr.mean(axis=(2, 3))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._x_shape
+        grad = np.asarray(grad_out, dtype=np.float64) / (h * w)
+        return np.broadcast_to(grad[:, :, None, None], (n, c, h, w)).copy()

@@ -1,0 +1,148 @@
+"""LSTM layer with explicit backpropagation through time."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import sigmoid
+from repro.nn.init import xavier_init
+from repro.nn.module import Module, Parameter
+
+
+class LSTMCell(Module):
+    """Single LSTM step with the standard gate layout.
+
+    Gates are computed as one fused affine map of ``[x, h]``; the weight
+    columns are ordered ``[input, forget, cell, output]``.  The forget
+    gate bias starts at 1 (the usual trick that stabilises early
+    training).
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, seed: int = 0) -> None:
+        super().__init__()
+        if input_size < 1 or hidden_size < 1:
+            raise ValueError("sizes must be >= 1")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        rng = np.random.default_rng(seed)
+        fan_in = input_size + hidden_size
+        self.weight = Parameter(
+            xavier_init((fan_in, 4 * hidden_size), fan_in, hidden_size, rng),
+            "weight",
+        )
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size : 2 * hidden_size] = 1.0  # forget-gate bias
+        self.bias = Parameter(bias, "bias")
+
+    def step(
+        self, x: np.ndarray, h_prev: np.ndarray, c_prev: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, dict]:
+        """One time step; returns ``(h, c, cache)``."""
+        hs = self.hidden_size
+        xh = np.concatenate([x, h_prev], axis=1)
+        gates = xh @ self.weight.data + self.bias.data
+        i = sigmoid(gates[:, :hs])
+        f = sigmoid(gates[:, hs : 2 * hs])
+        g = np.tanh(gates[:, 2 * hs : 3 * hs])
+        o = sigmoid(gates[:, 3 * hs :])
+        c = f * c_prev + i * g
+        tanh_c = np.tanh(c)
+        h = o * tanh_c
+        cache = {
+            "xh": xh, "i": i, "f": f, "g": g, "o": o,
+            "c": c, "c_prev": c_prev, "tanh_c": tanh_c,
+        }
+        return h, c, cache
+
+    def step_backward(
+        self, grad_h: np.ndarray, grad_c: np.ndarray, cache: dict
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Backprop one step; returns ``(grad_x, grad_h_prev, grad_c_prev)``.
+
+        Accumulates parameter gradients as a side effect.
+        """
+        hs = self.hidden_size
+        i, f, g, o = cache["i"], cache["f"], cache["g"], cache["o"]
+        tanh_c = cache["tanh_c"]
+        dc = grad_c + grad_h * o * (1.0 - tanh_c**2)
+        do = grad_h * tanh_c
+        di = dc * g
+        dg = dc * i
+        df = dc * cache["c_prev"]
+        dgates = np.concatenate(
+            [
+                di * i * (1.0 - i),
+                df * f * (1.0 - f),
+                dg * (1.0 - g**2),
+                do * o * (1.0 - o),
+            ],
+            axis=1,
+        )
+        self.weight.grad += cache["xh"].T @ dgates
+        self.bias.grad += dgates.sum(axis=0)
+        dxh = dgates @ self.weight.data.T
+        grad_x = dxh[:, : self.input_size]
+        grad_h_prev = dxh[:, self.input_size :]
+        grad_c_prev = dc * f
+        return grad_x, grad_h_prev, grad_c_prev
+
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError("use LSTM for sequence processing")
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError("use LSTM for sequence processing")
+
+
+class LSTM(Module):
+    """Sequence LSTM returning the final hidden state.
+
+    Input shape ``(batch, time, features)``; output ``(batch, hidden)``.
+    The full hidden sequence of the last forward pass is available as
+    :attr:`hidden_sequence` (used by tests and diagnostics).
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, seed: int = 0) -> None:
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, seed)
+        self.hidden_size = hidden_size
+        self._caches: list[dict] = []
+        self._n_steps = 0
+        self.hidden_sequence: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        arr = np.asarray(x, dtype=np.float64)
+        if arr.ndim != 3 or arr.shape[2] != self.cell.input_size:
+            raise ValueError(
+                f"expected (batch, time, {self.cell.input_size}), "
+                f"got {arr.shape}"
+            )
+        batch, steps, _ = arr.shape
+        if steps < 1:
+            raise ValueError("sequence must have at least one step")
+        h = np.zeros((batch, self.hidden_size))
+        c = np.zeros((batch, self.hidden_size))
+        self._caches = []
+        hs = np.empty((batch, steps, self.hidden_size))
+        for t in range(steps):
+            h, c, cache = self.cell.step(arr[:, t], h, c)
+            self._caches.append(cache)
+            hs[:, t] = h
+        self._n_steps = steps
+        self.hidden_sequence = hs
+        return h
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if not self._caches:
+            raise RuntimeError("backward called before forward")
+        grad_h = np.asarray(grad_out, dtype=np.float64)
+        batch = grad_h.shape[0]
+        grad_c = np.zeros_like(grad_h)
+        grad_x = np.empty(
+            (batch, self._n_steps, self.cell.input_size)
+        )
+        for t in range(self._n_steps - 1, -1, -1):
+            gx, grad_h, grad_c = self.cell.step_backward(
+                grad_h, grad_c, self._caches[t]
+            )
+            grad_x[:, t] = gx
+        return grad_x

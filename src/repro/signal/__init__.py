@@ -1,0 +1,49 @@
+"""Signal-processing substrate: filters, decimation and windowing.
+
+The SWEC-ETHZ iEEG recordings used by the paper are distributed already
+band-pass filtered between 0.5 and 150 Hz and sampled at 512 Hz.  This
+package provides the equivalent preprocessing chain for raw synthetic
+signals plus the sliding-window machinery shared by Laelaps and the
+baselines (1 s analysis windows moving every 0.5 s).
+"""
+
+from repro.signal.filters import (
+    FilterSpec,
+    bandpass_filter,
+    decimate,
+    design_bandpass,
+    design_notch,
+    notch_filter,
+)
+from repro.signal.preprocess import PreprocessConfig, Preprocessor
+from repro.signal.quality import (
+    ChannelQualityReport,
+    assess_channels,
+    mask_bad_channels,
+)
+from repro.signal.windows import (
+    WindowSpec,
+    iter_windows,
+    num_windows,
+    window_start_indices,
+    window_view,
+)
+
+__all__ = [
+    "FilterSpec",
+    "design_bandpass",
+    "design_notch",
+    "bandpass_filter",
+    "notch_filter",
+    "decimate",
+    "PreprocessConfig",
+    "Preprocessor",
+    "ChannelQualityReport",
+    "assess_channels",
+    "mask_bad_channels",
+    "WindowSpec",
+    "iter_windows",
+    "num_windows",
+    "window_start_indices",
+    "window_view",
+]

@@ -1,0 +1,143 @@
+"""Signal-quality assessment: find channels a detector should not trust.
+
+Long-term recordings accumulate hardware faults (see
+:mod:`repro.data.failures`).  Before training or inference, a deployment
+screens the montage: flatlined contacts, rail-saturated channels,
+abnormally quiet/loud channels and strong line-noise pickup.  The
+report feeds channel masking — and the robustness tests use it to
+verify that injected faults are actually detectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ChannelQualityReport:
+    """Per-channel quality flags and statistics.
+
+    Attributes:
+        std: Per-channel standard deviation.
+        flatline_fraction: Fraction of samples inside zero-derivative
+            runs (exact ties between consecutive samples).
+        saturation_fraction: Fraction of samples at the channel's
+            extreme values (|x| >= 99.9 % of the channel max).
+        line_noise_ratio: Power near the mains frequency relative to
+            total power.
+        bad: Boolean mask of channels failing any criterion.
+    """
+
+    std: np.ndarray
+    flatline_fraction: np.ndarray
+    saturation_fraction: np.ndarray
+    line_noise_ratio: np.ndarray
+    bad: np.ndarray
+
+    @property
+    def n_bad(self) -> int:
+        """Number of channels flagged bad."""
+        return int(self.bad.sum())
+
+    def good_channels(self) -> np.ndarray:
+        """Indices of channels passing every criterion."""
+        return np.flatnonzero(~self.bad)
+
+
+def _line_noise_ratio(
+    data: np.ndarray, fs: float, line_hz: float, bandwidth_hz: float = 1.0
+) -> np.ndarray:
+    """Fraction of spectral power within ``bandwidth_hz`` of ``line_hz``."""
+    n = data.shape[0]
+    spectrum = np.abs(np.fft.rfft(data, axis=0)) ** 2
+    freqs = np.fft.rfftfreq(n, 1.0 / fs)
+    band = np.abs(freqs - line_hz) <= bandwidth_hz
+    total = spectrum.sum(axis=0)
+    total[total == 0] = 1.0
+    if not band.any():
+        return np.zeros(data.shape[1])
+    return spectrum[band].sum(axis=0) / total
+
+
+def assess_channels(
+    data: np.ndarray,
+    fs: float,
+    line_hz: float = 50.0,
+    flatline_threshold: float = 0.3,
+    saturation_threshold: float = 0.05,
+    std_floor: float = 1e-6,
+    std_outlier_factor: float = 20.0,
+    line_noise_threshold: float = 0.5,
+) -> ChannelQualityReport:
+    """Screen a multichannel recording for untrustworthy channels.
+
+    Args:
+        data: Signal ``(n_samples, n_channels)``.
+        fs: Sampling rate in Hz.
+        line_hz: Mains frequency (50 Hz at the Inselspital).
+        flatline_threshold: Flag when more than this fraction of
+            consecutive-sample differences are exactly zero.
+        saturation_threshold: Flag when more than this fraction of
+            samples sit at the channel's extremes.
+        std_floor: Flag channels with std below this (dead contact).
+        std_outlier_factor: Flag channels whose std exceeds the montage
+            median by this factor (broken reference / artefact channel).
+        line_noise_threshold: Flag when more than this fraction of the
+            channel power is mains pickup.
+
+    Returns:
+        A :class:`ChannelQualityReport`.
+    """
+    arr = np.asarray(data, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[0] < 4:
+        raise ValueError(
+            f"expected (n_samples >= 4, n_channels), got {arr.shape}"
+        )
+    std = arr.std(axis=0)
+    diffs = np.diff(arr, axis=0)
+    flatline = (diffs == 0).mean(axis=0)
+    peak = np.abs(arr).max(axis=0)
+    peak_floor = np.where(peak > 0, peak * 0.999, np.inf)
+    saturation = (np.abs(arr) >= peak_floor).mean(axis=0)
+    line_ratio = _line_noise_ratio(arr, fs, line_hz)
+
+    median_std = float(np.median(std[std > std_floor])) if np.any(
+        std > std_floor
+    ) else 1.0
+    bad = (
+        (std <= std_floor)
+        | (flatline >= flatline_threshold)
+        | (saturation >= saturation_threshold)
+        | (std >= std_outlier_factor * median_std)
+        | (line_ratio >= line_noise_threshold)
+    )
+    return ChannelQualityReport(
+        std=std,
+        flatline_fraction=flatline,
+        saturation_fraction=saturation,
+        line_noise_ratio=line_ratio,
+        bad=bad,
+    )
+
+
+def mask_bad_channels(
+    data: np.ndarray, report: ChannelQualityReport, rng_seed: int = 0
+) -> np.ndarray:
+    """Replace bad channels with low-amplitude white noise.
+
+    Dropping channels would change the montage the detector was built
+    for; replacing them with featureless noise keeps shapes stable while
+    removing the fault's influence (a flatlined channel would otherwise
+    contribute a constant LBP code to every spatial record).
+    """
+    arr = np.array(data, dtype=np.float64, copy=True)
+    bad = np.flatnonzero(report.bad)
+    if bad.size == 0:
+        return arr
+    good = report.good_channels()
+    scale = float(np.median(report.std[good])) if good.size else 1.0
+    rng = np.random.default_rng(rng_seed)
+    arr[:, bad] = rng.standard_normal((arr.shape[0], bad.size)) * scale * 0.1
+    return arr

@@ -1,0 +1,92 @@
+"""Tests for the shared baseline scaffolding (scaler, WindowedDetector)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import FeatureScaler, WindowedDetector
+from repro.core.training import TrainingSegments
+
+
+class TestFeatureScaler:
+    def test_standardises(self, rng):
+        x = rng.standard_normal((200, 4)) * 5.0 + 3.0
+        scaler = FeatureScaler().fit(x)
+        z = scaler.transform(x)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_safe(self):
+        x = np.ones((50, 2))
+        x[:, 1] = np.arange(50)
+        scaler = FeatureScaler().fit(x)
+        z = scaler.transform(x)
+        assert np.all(np.isfinite(z))
+        np.testing.assert_allclose(z[:, 0], 0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            FeatureScaler().transform(np.zeros((2, 2)))
+
+    def test_transform_uses_training_statistics(self, rng):
+        train = rng.standard_normal((100, 3))
+        other = rng.standard_normal((100, 3)) + 10.0
+        scaler = FeatureScaler().fit(train)
+        z = scaler.transform(other)
+        # Shifted data stays shifted: the scaler is frozen.
+        assert z.mean() > 5.0
+
+
+class _MeanDetector(WindowedDetector):
+    """Trivial detector: score = mean window amplitude (for testing)."""
+
+    def _features(self, signal):
+        from repro.signal.windows import WindowSpec, window_view
+
+        spec = WindowSpec.from_seconds(self.window_s, self.step_s, self.fs)
+        windows = window_view(np.abs(signal).mean(axis=1), spec)
+        return windows.mean(axis=1, keepdims=True)
+
+    def _train(self, features, labels):
+        positives = features[labels == 1].mean()
+        negatives = features[labels == 0].mean()
+        self._threshold = 0.5 * (positives + negatives)
+
+    def _scores(self, features):
+        return features[:, 0] - self._threshold
+
+
+class TestWindowedDetectorScaffolding:
+    def test_fit_predict_cycle(self, mini_recording, mini_segments):
+        det = _MeanDetector(mini_recording.n_electrodes, fs=256.0)
+        det.fit(mini_recording.data, mini_segments)
+        preds = det.predict(mini_recording.data)
+        in_seizure = (preds.times > 225) & (preds.times < 245)
+        assert preds.labels[in_seizure].mean() > 0.5
+
+    def test_rejects_empty_segment(self, mini_recording):
+        det = _MeanDetector(mini_recording.n_electrodes, fs=256.0)
+        segments = TrainingSegments(
+            ictal=((100.0, 100.2),), interictal=(40.0, 70.0)
+        )
+        with pytest.raises(ValueError):
+            det.fit(mini_recording.data, segments)
+
+    def test_rejects_zero_electrodes(self):
+        with pytest.raises(ValueError):
+            _MeanDetector(0, fs=256.0)
+
+    def test_detect_uses_tr_attribute(self, mini_recording, mini_segments):
+        det = _MeanDetector(mini_recording.n_electrodes, fs=256.0)
+        det.fit(mini_recording.data, mini_segments)
+        baseline = det.detect(mini_recording.data)
+        det.tr = 1e9
+        suppressed = det.detect(mini_recording.data)
+        assert len(suppressed.alarm_times) <= len(baseline.alarm_times)
+        assert len(suppressed.alarm_times) == 0
+
+    def test_times_at_window_ends(self, mini_recording, mini_segments):
+        det = _MeanDetector(mini_recording.n_electrodes, fs=256.0)
+        det.fit(mini_recording.data, mini_segments)
+        preds = det.predict(mini_recording.data[: 256 * 10])
+        assert preds.times[0] == pytest.approx(1.0)
+        assert np.all(np.diff(preds.times) == pytest.approx(0.5))

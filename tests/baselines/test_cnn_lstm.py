@@ -1,0 +1,97 @@
+"""Tests for the CNN and LSTM baseline detectors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cnn import StftCnnDetector, build_cnn
+from repro.baselines.lstm import LstmDetector
+
+
+class TestCnnArchitecture:
+    def test_output_shape(self, rng):
+        model = build_cnn(seed=0)
+        logits = model.forward(rng.standard_normal((3, 1, 16, 16)))
+        assert logits.shape == (3, 2)
+
+    def test_deterministic_weights(self):
+        a = build_cnn(seed=5)
+        b = build_cnn(seed=5)
+        for pa, pb in zip(a.parameters(), b.parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+
+@pytest.fixture(scope="module")
+def fast_cnn(mini_recording, mini_segments):
+    det = StftCnnDetector(
+        mini_recording.n_electrodes, fs=256.0, epochs=80, seed=2
+    )
+    det.fit(mini_recording.data, mini_segments)
+    return det
+
+
+@pytest.fixture(scope="module")
+def fast_lstm(mini_recording, mini_segments):
+    det = LstmDetector(
+        mini_recording.n_electrodes, fs=256.0, epochs=120, seed=2
+    )
+    det.fit(mini_recording.data, mini_segments)
+    return det
+
+
+class TestCnnDetector:
+    def test_training_loss_decreases(self, fast_cnn):
+        losses = fast_cnn.training_losses
+        assert losses[-1] < 0.5 * losses[0]
+
+    def test_detects_unseen_seizure(self, fast_cnn, mini_recording):
+        result = fast_cnn.detect(mini_recording.data)
+        second = mini_recording.seizures[1]
+        hits = (result.alarm_times >= second.onset_s) & (
+            result.alarm_times <= second.offset_s + 5.0
+        )
+        assert hits.any()
+
+    def test_epoch_validation(self):
+        with pytest.raises(ValueError):
+            StftCnnDetector(4, fs=256.0, epochs=0)
+
+
+class TestLstmDetector:
+    def test_training_loss_decreases(self, fast_lstm):
+        losses = fast_lstm.training_losses
+        assert losses[-1] < 0.5 * losses[0]
+
+    def test_detects_unseen_seizure(self, fast_lstm, mini_recording):
+        result = fast_lstm.detect(mini_recording.data)
+        second = mini_recording.seizures[1]
+        hits = (result.alarm_times >= second.onset_s) & (
+            result.alarm_times <= second.offset_s + 5.0
+        )
+        assert hits.any()
+
+    def test_scores_batched_equals_direct(self, fast_lstm, mini_recording):
+        feats = fast_lstm._features(mini_recording.data[: 256 * 30])
+        flat = fast_lstm.scaler.transform(fast_lstm._flat(feats))
+        scores = fast_lstm._scores(flat.reshape(feats.shape))
+        logits = fast_lstm._forward(flat.reshape(feats.shape))
+        np.testing.assert_allclose(scores, logits[:, 1] - logits[:, 0])
+
+    def test_epoch_validation(self):
+        with pytest.raises(ValueError):
+            LstmDetector(4, fs=256.0, epochs=0)
+
+
+class TestSharedScaffolding:
+    def test_scaler_applied_consistently(self, fast_lstm, mini_recording):
+        # Scaling twice with the same detector must be idempotent across
+        # calls (fit statistics are frozen after fit).
+        a = fast_lstm.predict(mini_recording.data[: 256 * 20])
+        b = fast_lstm.predict(mini_recording.data[: 256 * 20])
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_allclose(a.deltas, b.deltas)
+
+    def test_empty_signal_predictions(self, fast_lstm):
+        preds = fast_lstm.predict(
+            np.zeros((10, fast_lstm.n_electrodes), dtype=np.float32)
+        )
+        assert len(preds.labels) == 0

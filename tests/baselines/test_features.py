@@ -1,0 +1,84 @@
+"""Tests for repro.baselines.features."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.features import (
+    window_lbp_histograms,
+    window_sequences,
+    window_stft,
+)
+
+FS = 256.0
+
+
+@pytest.fixture()
+def signal(rng):
+    return rng.standard_normal((int(10 * FS), 4))
+
+
+class TestLbpHistograms:
+    def test_shape(self, signal):
+        feats = window_lbp_histograms(signal, FS)
+        assert feats.shape[1] == 4 * 64
+        # 10 s at 256 Hz -> 2554 codes -> 18 complete 1 s windows at 0.5 s hop.
+        assert feats.shape[0] == 18
+
+    def test_rows_normalised_per_electrode(self, signal):
+        feats = window_lbp_histograms(signal, FS)
+        per_elec = feats.reshape(feats.shape[0], 4, 64)
+        np.testing.assert_allclose(per_elec.sum(axis=2), 1.0)
+
+    def test_monotone_signal_concentrates_mass(self):
+        ramp = np.tile(np.arange(int(4 * FS), dtype=float)[:, None], (1, 2))
+        feats = window_lbp_histograms(ramp, FS)
+        per_elec = feats.reshape(feats.shape[0], 2, 64)
+        np.testing.assert_allclose(per_elec[:, :, 63], 1.0)
+
+    def test_amplitude_invariance(self, signal):
+        a = window_lbp_histograms(signal, FS)
+        b = window_lbp_histograms(signal * 100.0, FS)
+        np.testing.assert_allclose(a, b)
+
+
+class TestStft:
+    def test_shape(self, signal):
+        feats = window_stft(signal, FS)
+        assert feats.shape[1:] == (1, 16, 16)
+
+    def test_tone_concentrates_in_frequency_row(self):
+        t = np.arange(int(4 * FS)) / FS
+        tone = np.sin(2 * np.pi * 42.67 * t)[:, None]  # bin 5 of 16
+        feats = window_stft(np.tile(tone, (1, 2)), FS)
+        image = feats[2, 0]
+        assert image[5].mean() > 2 * np.delete(image, 5, axis=0).mean()
+
+    def test_resamples_other_rates(self, rng):
+        signal512 = rng.standard_normal((512 * 4, 2))
+        feats = window_stft(signal512, 512.0)
+        assert feats.shape[1:] == (1, 16, 16)
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(ValueError):
+            window_stft(rng.standard_normal(100), FS)
+
+
+class TestSequences:
+    def test_shape(self, signal):
+        feats = window_sequences(signal, FS, n_steps=32)
+        assert feats.shape[1:] == (32, 3)
+
+    def test_amplitude_feature_tracks_scale(self, signal):
+        a = window_sequences(signal, FS)
+        b = window_sequences(signal * 10.0, FS)
+        np.testing.assert_allclose(b[..., 2], 10.0 * a[..., 2], rtol=1e-6)
+
+    def test_rejects_too_many_steps(self, rng):
+        with pytest.raises(ValueError):
+            window_sequences(rng.standard_normal((300, 2)), FS, n_steps=1000)
+
+    def test_constant_signal_zero_variance_features(self):
+        const = np.ones((int(3 * FS), 2))
+        feats = window_sequences(const, FS)
+        np.testing.assert_allclose(feats[..., 1], 0.0, atol=1e-12)
+        np.testing.assert_allclose(feats[..., 0], 1.0)

@@ -1,0 +1,77 @@
+"""Tests for model persistence (save/load trained detectors)."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import LaelapsDetector
+from repro.core.persistence import load_model, save_model
+from repro.core.symbolizers import HVGSymbolizer
+
+
+class TestRoundTrip:
+    def test_bit_identical_predictions(
+        self, fitted_detector, mini_recording, tmp_path
+    ):
+        fitted_detector.tr = 42.0
+        path = save_model(fitted_detector, tmp_path / "model.npz")
+        loaded = load_model(path)
+        segment = mini_recording.data[: 256 * 40]
+        original = fitted_detector.predict(segment)
+        restored = loaded.predict(segment)
+        np.testing.assert_array_equal(original.labels, restored.labels)
+        np.testing.assert_array_equal(original.distances, restored.distances)
+
+    def test_tr_and_shape_preserved(self, fitted_detector, tmp_path):
+        fitted_detector.tr = 17.5
+        loaded = load_model(save_model(fitted_detector, tmp_path / "m.npz"))
+        assert loaded.tr == 17.5
+        assert loaded.n_electrodes == fitted_detector.n_electrodes
+        assert loaded.config == fitted_detector.config
+
+    def test_alarms_identical(self, fitted_detector, mini_recording, tmp_path):
+        loaded = load_model(save_model(fitted_detector, tmp_path / "m.npz"))
+        a = fitted_detector.detect(mini_recording.data)
+        b = loaded.detect(mini_recording.data)
+        np.testing.assert_allclose(a.alarm_times, b.alarm_times)
+
+    def test_model_file_is_small(self, fitted_detector, tmp_path):
+        # Only config + two prototypes: the on-disk model for d = 1 kbit
+        # must stay in the low kilobytes (embedded-deployment claim).
+        path = save_model(fitted_detector, tmp_path / "m.npz")
+        assert path.stat().st_size < 16 * 1024
+
+    def test_hvg_symbolizer_round_trip(
+        self, mini_recording, mini_segments, small_config, tmp_path
+    ):
+        det = LaelapsDetector(
+            mini_recording.n_electrodes, small_config,
+            symbolizer=HVGSymbolizer(degree_cap=5),
+        )
+        det.fit(mini_recording.data, mini_segments)
+        loaded = load_model(save_model(det, tmp_path / "hvg.npz"))
+        assert isinstance(loaded.symbolizer, HVGSymbolizer)
+        assert loaded.symbolizer.degree_cap == 5
+
+
+class TestErrors:
+    def test_unfitted_detector_rejected(self, small_config, tmp_path):
+        det = LaelapsDetector(4, small_config)
+        with pytest.raises(ValueError):
+            save_model(det, tmp_path / "m.npz")
+
+    def test_version_check(self, fitted_detector, tmp_path):
+        import json
+
+        path = save_model(fitted_detector, tmp_path / "m.npz")
+        with np.load(path) as archive:
+            meta = json.loads(bytes(archive["meta"].tobytes()).decode())
+            inter, ictal = archive["interictal"], archive["ictal"]
+        meta["version"] = 99
+        np.savez_compressed(
+            tmp_path / "bad.npz",
+            interictal=inter,
+            ictal=ictal,
+            meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        )
+        with pytest.raises(ValueError):
+            load_model(tmp_path / "bad.npz")

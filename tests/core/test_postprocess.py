@@ -1,0 +1,171 @@
+"""Tests for repro.core.postprocess (delta scores, voting, t_r tuning)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ICTAL, INTERICTAL
+from repro.core.postprocess import (
+    PostprocessConfig,
+    Postprocessor,
+    alarm_flags,
+    alpha_from_cohort,
+    delta_scores,
+    flags_to_onsets,
+    tune_tr,
+)
+
+
+class TestDeltaScores:
+    def test_absolute_difference(self):
+        distances = np.array([[10, 4], [3, 9]])
+        np.testing.assert_allclose(delta_scores(distances), [6.0, 6.0])
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            delta_scores(np.zeros((3, 3)))
+
+
+def _labels(pattern: str) -> np.ndarray:
+    """'i' -> ictal, '.' -> interictal."""
+    return np.array([ICTAL if c == "i" else INTERICTAL for c in pattern])
+
+
+class TestAlarmFlags:
+    def test_ten_consecutive_ictal_fire(self):
+        labels = _labels("....." + "i" * 10 + ".....")
+        deltas = np.ones_like(labels, dtype=float)
+        flags = alarm_flags(labels, deltas, 10, 10, tr=0.0)
+        assert flags[14]  # first window whose trailing 10 are all ictal
+        assert not flags[:14].any()
+
+    def test_nine_ictal_do_not_fire_at_tc_10(self):
+        labels = _labels("....." + "i" * 9 + "......")
+        deltas = np.ones_like(labels, dtype=float)
+        assert not alarm_flags(labels, deltas, 10, 10, 0.0).any()
+
+    def test_tr_suppresses_low_confidence(self):
+        labels = _labels("i" * 20)
+        deltas = np.full(20, 5.0)
+        assert alarm_flags(labels, deltas, 10, 10, tr=4.9).any()
+        assert not alarm_flags(labels, deltas, 10, 10, tr=5.0).any()
+
+    def test_mean_delta_of_ictal_labels_only(self):
+        # Interictal deltas inside the window must not affect the mean.
+        labels = _labels("....." + "i" * 10)
+        deltas = np.concatenate([np.full(5, 1000.0), np.full(10, 2.0)])
+        assert not alarm_flags(labels, deltas, 10, 10, tr=2.0).any()
+        assert alarm_flags(labels, deltas, 10, 10, tr=1.9).any()
+
+    def test_lower_tc_with_mixed_labels(self):
+        labels = _labels("iiiii.iiii" * 2)
+        deltas = np.ones_like(labels, dtype=float)
+        assert alarm_flags(labels, deltas, 10, 9, 0.0).any()
+        assert not alarm_flags(labels, deltas, 10, 10, 0.0).any()
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            alarm_flags(np.zeros(3, dtype=int), np.zeros(4), 10, 10, 0.0)
+
+    def test_rejects_bad_tc(self):
+        with pytest.raises(ValueError):
+            alarm_flags(np.zeros(3, dtype=int), np.zeros(3), 10, 11, 0.0)
+
+    def test_empty_stream(self):
+        flags = alarm_flags(np.zeros(0, dtype=int), np.zeros(0), 10, 10, 0.0)
+        assert flags.shape == (0,)
+
+
+class TestFlagsToOnsets:
+    def test_rising_edges_only(self):
+        flags = np.array([False, True, True, False, True])
+        np.testing.assert_array_equal(flags_to_onsets(flags), [1, 4])
+
+    def test_flag_at_start(self):
+        np.testing.assert_array_equal(
+            flags_to_onsets(np.array([True, True, False])), [0]
+        )
+
+    def test_empty(self):
+        assert flags_to_onsets(np.zeros(0, dtype=bool)).size == 0
+
+
+class TestPostprocessor:
+    def test_onsets_end_to_end(self):
+        labels = _labels("....." + "i" * 12 + "....." + "i" * 12)
+        deltas = np.full(labels.shape, 3.0)
+        post = Postprocessor(PostprocessConfig(tr=1.0))
+        onsets = post.onsets(labels, deltas)
+        assert len(onsets) == 2
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PostprocessConfig(tc=0)
+        with pytest.raises(ValueError):
+            PostprocessConfig(tr=-0.5)
+
+
+class TestTuneTr:
+    def test_no_false_alarm_gives_min_ictal_delta(self):
+        labels = _labels("....." + "i" * 10)
+        truth = labels.astype(bool)
+        deltas = np.concatenate([np.full(5, 1.0), np.linspace(10, 20, 10)])
+        tr = tune_tr(labels, deltas, truth)
+        assert tr == pytest.approx(10.0)
+
+    def test_false_alarm_path_uses_interictal_multiple(self):
+        # 12 interictal windows misclassified as ictal -> false alarm.
+        labels = _labels("i" * 12 + "." * 5 + "i" * 10)
+        truth = np.array([False] * 17 + [True] * 10)
+        deltas = np.concatenate(
+            [np.full(12, 2.0), np.full(5, 1.0), np.full(10, 11.0)]
+        )
+        # max interictal = 2, max ictal = 11, alpha = 0 -> highest k
+        # with 2k < 11 is 5 -> tr = 10.
+        tr = tune_tr(labels, deltas, truth, alpha=0.0)
+        assert tr == pytest.approx(10.0)
+
+    def test_alpha_lowers_bound(self):
+        labels = _labels("i" * 12 + "." * 5 + "i" * 10)
+        truth = np.array([False] * 17 + [True] * 10)
+        deltas = np.concatenate(
+            [np.full(12, 2.0), np.full(5, 1.0), np.full(10, 11.0)]
+        )
+        tr = tune_tr(labels, deltas, truth, alpha=3.0)
+        # bound 8 -> highest multiple of 2 below 8 is 6.
+        assert tr == pytest.approx(6.0)
+
+    def test_no_valid_multiple_falls_back_to_max_interictal(self):
+        labels = _labels("i" * 12 + "i" * 5)
+        truth = np.array([False] * 12 + [True] * 5)
+        deltas = np.concatenate([np.full(12, 10.0), np.full(5, 9.0)])
+        tr = tune_tr(labels, deltas, truth)
+        assert tr == pytest.approx(10.0)
+
+    def test_no_ictal_windows_returns_zero(self):
+        labels = _labels("..........")
+        deltas = np.ones(10)
+        assert tune_tr(labels, deltas, np.zeros(10, dtype=bool)) == 0.0
+
+    def test_suppression_property(self):
+        # After tuning, the training stream itself must raise no false
+        # alarm (the rule's goal).
+        rng = np.random.default_rng(0)
+        labels = _labels("i" * 15 + "." * 30 + "i" * 12)
+        truth = np.array([False] * 15 + [False] * 30 + [True] * 12)
+        deltas = np.concatenate(
+            [rng.uniform(1, 3, 15), rng.uniform(0, 1, 30), rng.uniform(20, 30, 12)]
+        )
+        tr = tune_tr(labels, deltas, truth)
+        flags = alarm_flags(labels, deltas, 10, 10, tr)
+        assert not (flags & ~truth).any()
+
+
+class TestAlphaFromCohort:
+    def test_mean_difference(self):
+        assert alpha_from_cohort([(10.0, 8.0), (6.0, 5.0)]) == pytest.approx(1.5)
+
+    def test_clipped_at_zero(self):
+        assert alpha_from_cohort([(5.0, 9.0)]) == 0.0
+
+    def test_empty_is_zero(self):
+        assert alpha_from_cohort([]) == 0.0

@@ -1,0 +1,90 @@
+"""Tests for repro.core.streaming (online inference)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LaelapsConfig
+from repro.core.detector import LaelapsDetector
+from repro.core.streaming import StreamingLaelaps
+
+
+class TestConstruction:
+    def test_requires_fitted_detector(self, small_config):
+        detector = LaelapsDetector(4, small_config)
+        with pytest.raises(ValueError):
+            StreamingLaelaps(detector)
+
+
+class TestEquivalenceWithBatch:
+    """Streaming must reproduce the batch pipeline exactly."""
+
+    @pytest.fixture(scope="class", params=[64, 150, 256, 1000])
+    def chunk_size(self, request):
+        return request.param
+
+    def test_labels_match_batch(
+        self, fitted_detector, mini_recording, chunk_size
+    ):
+        batch = fitted_detector.predict(mini_recording.data)
+        streamer = StreamingLaelaps(fitted_detector)
+        events = streamer.run(mini_recording.data, chunk_size)
+        assert len(events) == len(batch)
+        np.testing.assert_array_equal(
+            [e.label for e in events], batch.labels
+        )
+        np.testing.assert_allclose(
+            [e.delta for e in events], batch.deltas
+        )
+        np.testing.assert_allclose(
+            [e.time_s for e in events], batch.times
+        )
+
+    def test_alarm_edges_match_batch_detect(
+        self, fitted_detector, mini_recording
+    ):
+        result = fitted_detector.detect(mini_recording.data)
+        streamer = StreamingLaelaps(fitted_detector)
+        events = streamer.run(mini_recording.data, 333)
+        stream_alarms = [e.time_s for e in events if e.alarm]
+        np.testing.assert_allclose(stream_alarms, result.alarm_times)
+
+
+class TestStreamingBehaviour:
+    def test_tiny_chunks_buffered(self, fitted_detector, mini_recording):
+        streamer = StreamingLaelaps(fitted_detector)
+        # Push three samples at a time; windows still complete.
+        events = streamer.run(mini_recording.data[: 256 * 10], 3)
+        assert streamer.windows_emitted == len(events) > 0
+
+    def test_counters(self, fitted_detector, mini_recording):
+        streamer = StreamingLaelaps(fitted_detector)
+        streamer.push(mini_recording.data[:1000])
+        assert streamer.samples_seen == 1000
+
+    def test_wrong_channel_count_raises(self, fitted_detector):
+        streamer = StreamingLaelaps(fitted_detector)
+        with pytest.raises(ValueError):
+            streamer.push(np.zeros((10, 2)))
+
+    def test_no_events_before_first_window(self, fitted_detector):
+        streamer = StreamingLaelaps(fitted_detector)
+        spec = fitted_detector.config.window_spec
+        events = streamer.push(
+            np.zeros((spec.step_samples // 2, fitted_detector.n_electrodes))
+        )
+        assert events == []
+
+    def test_alarm_fires_once_per_episode(
+        self, mini_recording, mini_segments, small_config
+    ):
+        detector = LaelapsDetector(
+            mini_recording.n_electrodes, small_config
+        )
+        detector.fit(mini_recording.data, mini_segments)
+        streamer = StreamingLaelaps(detector)
+        events = streamer.run(mini_recording.data, 512)
+        alarms = [e for e in events if e.alarm]
+        # Two seizures -> at most a few rising edges, not one per window.
+        ictal_windows = sum(1 for e in events if e.label == 1)
+        assert 1 <= len(alarms) <= 4
+        assert ictal_windows > len(alarms)

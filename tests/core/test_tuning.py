@@ -1,0 +1,70 @@
+"""Tests for repro.core.tuning (dimension descent)."""
+
+import pytest
+
+from repro.core.tuning import DimensionTuningResult, tune_dimension
+
+
+def _evaluator(threshold_dim: int):
+    """Sensitivity 1.0 / FDR 0 above the threshold, degraded below."""
+
+    def evaluate(dim: int):
+        if dim >= threshold_dim:
+            return (1.0, -0.0)
+        return (0.8, -0.1)
+
+    return evaluate
+
+
+class TestTuneDimension:
+    def test_stops_at_performance_cliff(self):
+        result = tune_dimension(
+            _evaluator(3_000), candidates=(10_000, 5_000, 3_000, 2_000, 1_000)
+        )
+        assert result.chosen_dim == 3_000
+        assert result.golden_dim == 10_000
+        # Greedy stop: 1 000 was never evaluated after 2 000 failed.
+        evaluated = [dim for dim, _ in result.history]
+        assert evaluated == [10_000, 5_000, 3_000, 2_000]
+
+    def test_all_maintain_gives_minimum(self):
+        result = tune_dimension(
+            _evaluator(0), candidates=(10_000, 4_000, 1_000)
+        )
+        assert result.chosen_dim == 1_000
+
+    def test_none_maintain_keeps_golden(self):
+        result = tune_dimension(
+            _evaluator(10_000), candidates=(10_000, 5_000, 1_000)
+        )
+        assert result.chosen_dim == 10_000
+
+    def test_full_scan_mode(self):
+        # Non-monotone: 5 000 fails but 2 000 would maintain.
+        def evaluate(dim):
+            return (1.0, 0.0) if dim != 5_000 else (0.5, -1.0)
+
+        result = tune_dimension(
+            evaluate,
+            candidates=(10_000, 5_000, 2_000),
+            stop_at_first_loss=False,
+        )
+        assert result.chosen_dim == 2_000
+        assert len(result.history) == 3
+
+    def test_reduction_factor(self):
+        result = DimensionTuningResult(
+            chosen_dim=2_000, golden_dim=10_000, golden_performance=(1.0, 0.0)
+        )
+        assert result.reduction_factor == pytest.approx(5.0)
+
+    def test_rejects_empty_candidates(self):
+        with pytest.raises(ValueError):
+            tune_dimension(_evaluator(0), candidates=())
+
+    def test_worse_fdr_counts_as_loss(self):
+        def evaluate(dim):
+            return (1.0, -0.0) if dim == 10_000 else (1.0, -0.5)
+
+        result = tune_dimension(evaluate, candidates=(10_000, 1_000))
+        assert result.chosen_dim == 10_000

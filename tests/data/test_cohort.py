@@ -1,0 +1,113 @@
+"""Tests for repro.data.cohort (the Table I patient roster)."""
+
+import pytest
+
+from repro.data.cohort import (
+    CohortLayout,
+    PatientSpec,
+    cohort_patient_specs,
+    synthesize_patient,
+)
+
+
+class TestSpecsMirrorTableI:
+    @pytest.fixture(scope="class")
+    def specs(self):
+        return cohort_patient_specs()
+
+    def test_eighteen_patients(self, specs):
+        assert len(specs) == 18
+        assert [s.patient_id for s in specs] == [f"P{i}" for i in range(1, 19)]
+
+    def test_total_seizures_116(self, specs):
+        assert sum(s.n_seizures for s in specs) == 116
+
+    def test_training_seizures_24(self, specs):
+        assert sum(s.train_seizures for s in specs) == 24
+
+    def test_test_seizures_92(self, specs):
+        assert sum(s.n_test_seizures for s in specs) == 92
+
+    def test_subtle_test_seizures_13(self, specs):
+        # 79 of 92 detected in Table I -> 13 undetectable by design.
+        assert sum(s.n_subtle_test for s in specs) == 13
+
+    def test_electrode_range_24_to_128(self, specs):
+        counts = [s.n_electrodes for s in specs]
+        assert min(counts) == 24  # P14
+        assert max(counts) == 128  # P5
+
+    def test_total_hours_match_table1(self, specs):
+        # Table I's per-patient hours sum to 2655; the paper's headline
+        # "2656 h" rounds the unpublished per-patient minutes.
+        assert sum(s.recording_hours for s in specs) == pytest.approx(2655.0)
+
+    def test_p14_fully_subtle(self, specs):
+        p14 = next(s for s in specs if s.patient_id == "P14")
+        assert p14.train_subtle
+        assert p14.n_subtle_test == p14.n_test_seizures == 1
+
+    def test_table1_electrode_column(self, specs):
+        expected = [88, 66, 64, 32, 128, 32, 75, 61, 48, 32, 32, 56, 64, 24, 98, 34, 60, 42]
+        assert [s.n_electrodes for s in specs] == expected
+
+    def test_trs_column(self, specs):
+        expected = [1, 1, 1, 2, 1, 1, 2, 2, 2, 1, 1, 2, 2, 1, 1, 1, 1, 1]
+        assert [s.train_seizures for s in specs] == expected
+
+
+class TestSpecValidation:
+    def test_rejects_all_training(self):
+        with pytest.raises(ValueError):
+            PatientSpec("PX", 8, 2, 10.0, train_seizures=2)
+
+    def test_rejects_too_many_subtle(self):
+        with pytest.raises(ValueError):
+            PatientSpec("PX", 8, 3, 10.0, train_seizures=1, n_subtle_test=3)
+
+
+class TestSynthesizePatient:
+    @pytest.fixture(scope="class")
+    def patient(self):
+        spec = PatientSpec(
+            "PT", n_electrodes=8, n_seizures=3, recording_hours=0.05,
+            train_seizures=1, n_subtle_test=1, seed=5,
+        )
+        return synthesize_patient(spec, hours_scale=1.0, fs=256.0)
+
+    def test_seizure_count(self, patient):
+        assert len(patient.recording.seizures) == 3
+
+    def test_subtle_count(self, patient):
+        subtle = [s for s in patient.recording.seizures if s.seizure_type == "subtle"]
+        assert len(subtle) == 1
+
+    def test_chronological(self, patient):
+        onsets = [s.onset_s for s in patient.recording.seizures]
+        assert onsets == sorted(onsets)
+
+    def test_duration_extends_to_fit_seizures(self, patient):
+        # 0.05 h = 180 s cannot hold 3 seizures + gaps; layout must grow.
+        assert patient.recording.duration_s > 180.0
+
+    def test_min_gap_respected(self, patient):
+        layout = CohortLayout()
+        events = patient.recording.seizures
+        for a, b in zip(events, events[1:]):
+            assert b.onset_s - a.offset_s >= min(
+                layout.train_seizure_gap_s, layout.test_seizure_gap_s
+            ) - 1e-6
+
+    def test_deterministic(self):
+        spec = PatientSpec("PT", 4, 2, 0.02, 1, seed=6)
+        a = synthesize_patient(spec, hours_scale=1.0, fs=256.0)
+        b = synthesize_patient(spec, hours_scale=1.0, fs=256.0)
+        import numpy as np
+        np.testing.assert_array_equal(a.recording.data, b.recording.data)
+
+    def test_base_seed_changes_realisation(self):
+        spec = PatientSpec("PT", 4, 2, 0.02, 1, seed=6)
+        import numpy as np
+        a = synthesize_patient(spec, hours_scale=1.0, fs=256.0, base_seed=0)
+        b = synthesize_patient(spec, hours_scale=1.0, fs=256.0, base_seed=1)
+        assert not np.array_equal(a.recording.data, b.recording.data)

@@ -1,0 +1,124 @@
+"""Tests for repro.data.failures and detector robustness to faults."""
+
+import numpy as np
+import pytest
+
+from repro.data.failures import (
+    inject_artifact_bursts,
+    kill_electrodes,
+    saturate_electrodes,
+)
+
+
+class TestKillElectrodes:
+    def test_flatlines_selected_channels(self, mini_recording):
+        degraded = kill_electrodes(mini_recording, [0, 3])
+        assert np.all(degraded.data[:, 0] == 0.0)
+        assert np.all(degraded.data[:, 3] == 0.0)
+        np.testing.assert_array_equal(
+            degraded.data[:, 1], mini_recording.data[:, 1]
+        )
+
+    def test_from_time_onwards(self, mini_recording):
+        degraded = kill_electrodes(mini_recording, [2], from_s=100.0)
+        cut = int(100.0 * mini_recording.fs)
+        np.testing.assert_array_equal(
+            degraded.data[:cut, 2], mini_recording.data[:cut, 2]
+        )
+        assert np.all(degraded.data[cut:, 2] == 0.0)
+
+    def test_original_untouched(self, mini_recording):
+        before = mini_recording.data.copy()
+        kill_electrodes(mini_recording, [0])
+        np.testing.assert_array_equal(mini_recording.data, before)
+
+    def test_out_of_range_raises(self, mini_recording):
+        with pytest.raises(ValueError):
+            kill_electrodes(mini_recording, [99])
+
+    def test_annotations_preserved(self, mini_recording):
+        degraded = kill_electrodes(mini_recording, [0])
+        assert degraded.seizures == mini_recording.seizures
+
+
+class TestSaturate:
+    def test_clips_to_rails(self, mini_recording):
+        degraded = saturate_electrodes(mini_recording, [1], limit=0.5)
+        assert degraded.data[:, 1].max() <= 0.5
+        assert degraded.data[:, 1].min() >= -0.5
+
+    def test_other_channels_untouched(self, mini_recording):
+        degraded = saturate_electrodes(mini_recording, [1], limit=0.5)
+        np.testing.assert_array_equal(
+            degraded.data[:, 0], mini_recording.data[:, 0]
+        )
+
+    def test_rejects_bad_limit(self, mini_recording):
+        with pytest.raises(ValueError):
+            saturate_electrodes(mini_recording, [0], limit=0.0)
+
+
+class TestArtifactBursts:
+    def test_adds_energy(self, mini_recording):
+        degraded = inject_artifact_bursts(
+            mini_recording, rate_per_hour=600.0, amplitude=8.0, seed=1
+        )
+        assert degraded.data.std() > mini_recording.data.std()
+
+    def test_zero_rate_is_identity(self, mini_recording):
+        degraded = inject_artifact_bursts(
+            mini_recording, rate_per_hour=0.0, amplitude=8.0, seed=1
+        )
+        np.testing.assert_array_equal(degraded.data, mini_recording.data)
+
+    def test_deterministic(self, mini_recording):
+        a = inject_artifact_bursts(mini_recording, 300.0, 5.0, seed=2)
+        b = inject_artifact_bursts(mini_recording, 300.0, 5.0, seed=2)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_rejects_negative_rate(self, mini_recording):
+        with pytest.raises(ValueError):
+            inject_artifact_bursts(mini_recording, -1.0, 5.0)
+
+
+class TestDetectorRobustness:
+    """Failure injection against a trained detector."""
+
+    def _alarms_in_second_seizure(self, detector, recording):
+        result = detector.detect(recording.data)
+        second = recording.seizures[1]
+        return np.any(
+            (result.alarm_times >= second.onset_s)
+            & (result.alarm_times <= second.offset_s + 5.0)
+        )
+
+    def test_survives_two_dead_electrodes(
+        self, fitted_detector, mini_recording
+    ):
+        # The holographic bundle degrades gracefully: killing 2 of 16
+        # electrodes after training must not lose the unseen seizure.
+        degraded = kill_electrodes(
+            mini_recording, [0, 8], from_s=150.0
+        )
+        assert self._alarms_in_second_seizure(fitted_detector, degraded)
+
+    def test_survives_saturation(self, fitted_detector, mini_recording):
+        # Rails at 4 sigma clip only the ictal peaks; the sign structure
+        # below the rails keeps the LBP histogram separable.
+        degraded = saturate_electrodes(
+            mini_recording, list(range(4)), limit=4.0
+        )
+        assert self._alarms_in_second_seizure(fitted_detector, degraded)
+
+    def test_short_bursts_filtered_by_tc(self, fitted_detector, mini_recording):
+        degraded = inject_artifact_bursts(
+            mini_recording, rate_per_hour=120.0, amplitude=6.0, seed=3
+        )
+        result = fitted_detector.detect(degraded.data)
+        # Alarms only near the two seizures — bursts (< 3 s) cannot
+        # satisfy ten consecutive ictal labels.
+        for t in result.alarm_times:
+            assert any(
+                s.onset_s - 1.0 <= t <= s.offset_s + 5.0
+                for s in mini_recording.seizures
+            ), f"burst-induced false alarm at {t:.1f} s"

@@ -1,0 +1,56 @@
+"""Tests for repro.data.io (recording persistence)."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import load_recording, save_recording
+from repro.data.model import Recording, SeizureEvent
+
+
+@pytest.fixture()
+def recording() -> Recording:
+    rng = np.random.default_rng(0)
+    return Recording(
+        data=rng.standard_normal((1000, 4)).astype(np.float32),
+        fs=256.0,
+        seizures=(
+            SeizureEvent(1.0, 2.0),
+            SeizureEvent(3.0, 3.5, seizure_type="subtle"),
+        ),
+        patient_id="P9",
+    )
+
+
+class TestRoundTrip:
+    def test_data_preserved(self, recording, tmp_path):
+        path = save_recording(recording, tmp_path / "rec.npz")
+        loaded = load_recording(path)
+        np.testing.assert_array_equal(loaded.data, recording.data)
+
+    def test_metadata_preserved(self, recording, tmp_path):
+        loaded = load_recording(save_recording(recording, tmp_path / "r.npz"))
+        assert loaded.fs == recording.fs
+        assert loaded.patient_id == "P9"
+        assert len(loaded.seizures) == 2
+        assert loaded.seizures[1].seizure_type == "subtle"
+        assert loaded.seizures[0].onset_s == 1.0
+
+    def test_creates_parent_directories(self, recording, tmp_path):
+        path = save_recording(recording, tmp_path / "a" / "b" / "rec.npz")
+        assert path.exists()
+
+    def test_rejects_unknown_version(self, recording, tmp_path):
+        import json
+
+        path = save_recording(recording, tmp_path / "rec.npz")
+        with np.load(path) as archive:
+            data = archive["data"]
+            meta = json.loads(bytes(archive["meta"].tobytes()).decode())
+        meta["version"] = 99
+        np.savez_compressed(
+            tmp_path / "bad.npz",
+            data=data,
+            meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        )
+        with pytest.raises(ValueError):
+            load_recording(tmp_path / "bad.npz")

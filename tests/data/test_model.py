@@ -1,0 +1,124 @@
+"""Tests for repro.data.model."""
+
+import numpy as np
+import pytest
+
+from repro.data.model import (
+    CLINICAL,
+    SUBTLE,
+    Cohort,
+    Patient,
+    Recording,
+    SeizureEvent,
+)
+
+
+def _recording(duration_s=100.0, fs=64.0, n_elec=2, seizures=()):
+    data = np.zeros((int(duration_s * fs), n_elec), dtype=np.float32)
+    return Recording(data=data, fs=fs, seizures=tuple(seizures))
+
+
+class TestSeizureEvent:
+    def test_duration(self):
+        assert SeizureEvent(10.0, 30.0).duration_s == 20.0
+
+    def test_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            SeizureEvent(30.0, 10.0)
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ValueError):
+            SeizureEvent(1.0, 2.0, seizure_type="odd")
+
+    def test_shifted(self):
+        event = SeizureEvent(10.0, 30.0, SUBTLE).shifted(5.0)
+        assert event.onset_s == 5.0
+        assert event.offset_s == 25.0
+        assert event.seizure_type == SUBTLE
+
+
+class TestRecording:
+    def test_basic_properties(self):
+        rec = _recording(100.0, 64.0, 3)
+        assert rec.n_samples == 6400
+        assert rec.n_electrodes == 3
+        assert rec.duration_s == pytest.approx(100.0)
+
+    def test_rejects_1d_data(self):
+        with pytest.raises(ValueError):
+            Recording(data=np.zeros(10), fs=64.0)
+
+    def test_rejects_unordered_seizures(self):
+        with pytest.raises(ValueError):
+            _recording(
+                seizures=[SeizureEvent(50.0, 60.0), SeizureEvent(10.0, 20.0)]
+            )
+
+    def test_rejects_seizure_past_end(self):
+        with pytest.raises(ValueError):
+            _recording(duration_s=50.0, seizures=[SeizureEvent(40.0, 60.0)])
+
+    def test_interictal_seconds(self):
+        rec = _recording(100.0, seizures=[SeizureEvent(10.0, 30.0)])
+        assert rec.interictal_seconds() == pytest.approx(80.0)
+
+    def test_seizure_segments(self):
+        rec = _recording(100.0, seizures=[SeizureEvent(10.0, 30.0)])
+        assert rec.seizure_segments() == [(10.0, 30.0)]
+
+
+class TestSliceTime:
+    def test_rebases_seizures(self):
+        rec = _recording(
+            100.0,
+            seizures=[SeizureEvent(10.0, 20.0), SeizureEvent(70.0, 80.0)],
+        )
+        sliced = rec.slice_time(50.0, 100.0)
+        assert sliced.duration_s == pytest.approx(50.0)
+        assert len(sliced.seizures) == 1
+        assert sliced.seizures[0].onset_s == pytest.approx(20.0)
+
+    def test_clips_partial_overlap(self):
+        rec = _recording(100.0, seizures=[SeizureEvent(45.0, 55.0)])
+        sliced = rec.slice_time(50.0, 100.0)
+        assert sliced.seizures[0].onset_s == pytest.approx(0.0)
+        assert sliced.seizures[0].offset_s == pytest.approx(5.0)
+
+    def test_preserves_type(self):
+        rec = _recording(100.0, seizures=[SeizureEvent(10.0, 20.0, SUBTLE)])
+        assert rec.slice_time(0.0, 50.0).seizures[0].seizure_type == SUBTLE
+
+    def test_rejects_bad_span(self):
+        with pytest.raises(ValueError):
+            _recording().slice_time(50.0, 10.0)
+
+
+class TestPatientAndCohort:
+    def test_patient_counts(self):
+        rec = _recording(
+            100.0,
+            seizures=[SeizureEvent(10.0, 20.0), SeizureEvent(70.0, 80.0)],
+        )
+        patient = Patient("P1", rec, train_seizures=1)
+        assert patient.n_test_seizures == 1
+        assert patient.n_electrodes == 2
+
+    def test_patient_needs_spare_seizure(self):
+        rec = _recording(100.0, seizures=[SeizureEvent(10.0, 20.0)])
+        with pytest.raises(ValueError):
+            Patient("P1", rec, train_seizures=1)
+
+    def test_cohort_aggregates(self):
+        rec = _recording(
+            3600.0,
+            seizures=[
+                SeizureEvent(100.0, 120.0),
+                SeizureEvent(1000.0, 1020.0, SUBTLE),
+            ],
+        )
+        cohort = Cohort(patients=(Patient("P1", rec), Patient("P2", rec)))
+        assert len(cohort) == 2
+        assert cohort.total_hours() == pytest.approx(2.0)
+        assert cohort.total_seizures() == 4
+        assert cohort.total_test_seizures() == 2
+        assert CLINICAL == "clinical"

@@ -1,0 +1,110 @@
+"""Tests for repro.data.splits (the chronological protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.data.model import Patient, Recording, SeizureEvent
+from repro.data.splits import make_chronological_split, split_patient
+
+
+def _recording(seizures, duration_s=600.0, fs=64.0):
+    data = np.zeros((int(duration_s * fs), 2), dtype=np.float32)
+    return Recording(data=data, fs=fs, seizures=tuple(seizures))
+
+
+class TestMakeSplit:
+    def test_one_training_seizure(self):
+        rec = _recording(
+            [SeizureEvent(120.0, 140.0), SeizureEvent(400.0, 420.0)]
+        )
+        split = make_chronological_split(rec, train_seizures=1)
+        assert split.training_segments.ictal == ((120.0, 140.0),)
+        assert split.train_span_s[1] == pytest.approx(150.0)
+        assert len(split.test_seizures) == 1
+
+    def test_two_training_seizures(self):
+        rec = _recording(
+            [
+                SeizureEvent(120.0, 140.0),
+                SeizureEvent(200.0, 215.0),
+                SeizureEvent(400.0, 420.0),
+            ]
+        )
+        split = make_chronological_split(rec, train_seizures=2)
+        assert len(split.training_segments.ictal) == 2
+        assert split.train_span_s[1] == pytest.approx(225.0)
+        assert len(split.test_seizures) == 1
+
+    def test_ictal_segment_capped_at_30s(self):
+        rec = _recording(
+            [SeizureEvent(120.0, 180.0), SeizureEvent(400.0, 420.0)]
+        )
+        split = make_chronological_split(rec, train_seizures=1)
+        start, end = split.training_segments.ictal[0]
+        assert end - start == pytest.approx(30.0)
+
+    def test_interictal_lead_respected(self):
+        rec = _recording(
+            [SeizureEvent(120.0, 140.0), SeizureEvent(400.0, 420.0)]
+        )
+        split = make_chronological_split(
+            rec, train_seizures=1, interictal_lead_s=60.0
+        )
+        start, end = split.training_segments.interictal
+        assert end == pytest.approx(60.0)
+        assert end - start == pytest.approx(30.0)
+
+    def test_short_lead_slides_segment(self):
+        rec = _recording(
+            [SeizureEvent(50.0, 70.0), SeizureEvent(400.0, 420.0)]
+        )
+        split = make_chronological_split(
+            rec, train_seizures=1, interictal_lead_s=600.0
+        )
+        start, end = split.training_segments.interictal
+        assert end <= 40.0
+        assert start >= 0.0
+
+    def test_no_room_raises(self):
+        rec = _recording(
+            [SeizureEvent(15.0, 30.0), SeizureEvent(400.0, 420.0)]
+        )
+        with pytest.raises(ValueError):
+            make_chronological_split(rec, train_seizures=1)
+
+    def test_too_few_seizures_raises(self):
+        rec = _recording([SeizureEvent(120.0, 140.0)])
+        with pytest.raises(ValueError):
+            make_chronological_split(rec, train_seizures=1)
+
+    def test_train_fraction(self):
+        rec = _recording(
+            [SeizureEvent(120.0, 140.0), SeizureEvent(400.0, 420.0)]
+        )
+        split = make_chronological_split(rec, train_seizures=1)
+        assert split.train_fraction == pytest.approx(150.0 / 600.0)
+
+    def test_test_seizures_exclude_training(self):
+        rec = _recording(
+            [
+                SeizureEvent(120.0, 140.0),
+                SeizureEvent(300.0, 320.0),
+                SeizureEvent(500.0, 520.0),
+            ]
+        )
+        split = make_chronological_split(rec, train_seizures=1)
+        assert [s.onset_s for s in split.test_seizures] == [300.0, 500.0]
+
+
+class TestSplitPatient:
+    def test_uses_patient_train_count(self):
+        rec = _recording(
+            [
+                SeizureEvent(120.0, 140.0),
+                SeizureEvent(200.0, 215.0),
+                SeizureEvent(400.0, 420.0),
+            ]
+        )
+        patient = Patient("P1", rec, train_seizures=2)
+        split = split_patient(patient)
+        assert len(split.training_segments.ictal) == 2

@@ -1,0 +1,79 @@
+"""Tests for repro.evaluation.events."""
+
+import numpy as np
+import pytest
+
+from repro.data.model import SeizureEvent
+from repro.evaluation.events import match_alarms, merge_alarms
+
+
+class TestMergeAlarms:
+    def test_merges_within_refractory(self):
+        merged = merge_alarms(np.array([10.0, 12.0, 15.0, 60.0]), 30.0)
+        np.testing.assert_allclose(merged, [10.0, 60.0])
+
+    def test_keeps_separated(self):
+        merged = merge_alarms(np.array([10.0, 50.0, 90.0]), 30.0)
+        np.testing.assert_allclose(merged, [10.0, 50.0, 90.0])
+
+    def test_unsorted_input(self):
+        merged = merge_alarms(np.array([90.0, 10.0, 11.0]), 30.0)
+        np.testing.assert_allclose(merged, [10.0, 90.0])
+
+    def test_empty(self):
+        assert merge_alarms(np.zeros(0)).size == 0
+
+
+class TestMatchAlarms:
+    def test_detection_and_delay(self):
+        seizures = [SeizureEvent(100.0, 130.0)]
+        match = match_alarms(np.array([112.0]), seizures)
+        assert match.n_detected == 1
+        assert match.delays_s[0] == pytest.approx(12.0)
+        assert match.n_false_alarms == 0
+
+    def test_alarm_in_grace_period_counts(self):
+        seizures = [SeizureEvent(100.0, 130.0)]
+        match = match_alarms(np.array([133.0]), seizures, grace_s=5.0)
+        assert match.n_detected == 1
+
+    def test_alarm_after_grace_is_false(self):
+        seizures = [SeizureEvent(100.0, 130.0)]
+        match = match_alarms(np.array([140.0]), seizures, grace_s=5.0)
+        assert match.n_detected == 0
+        assert match.n_false_alarms == 1
+
+    def test_alarm_before_onset_is_false(self):
+        seizures = [SeizureEvent(100.0, 130.0)]
+        match = match_alarms(np.array([60.0]), seizures)
+        assert match.n_detected == 0
+        assert match.n_false_alarms == 1
+
+    def test_repeated_alarms_in_one_seizure_not_false(self):
+        # Within the refractory they merge; outside it they still match
+        # the (long) seizure and are consumed.
+        seizures = [SeizureEvent(100.0, 200.0)]
+        match = match_alarms(np.array([110.0, 150.0, 190.0]), seizures)
+        assert match.n_detected == 1
+        assert match.n_false_alarms == 0
+        assert match.delays_s[0] == pytest.approx(10.0)
+
+    def test_one_alarm_cannot_detect_two_seizures(self):
+        seizures = [SeizureEvent(100.0, 130.0), SeizureEvent(200.0, 230.0)]
+        match = match_alarms(np.array([110.0]), seizures)
+        np.testing.assert_array_equal(match.detected, [True, False])
+
+    def test_two_seizures_two_alarms(self):
+        seizures = [SeizureEvent(100.0, 130.0), SeizureEvent(200.0, 230.0)]
+        match = match_alarms(np.array([105.0, 210.0]), seizures)
+        assert match.n_detected == 2
+        np.testing.assert_allclose(match.delays_s, [5.0, 10.0])
+
+    def test_mean_delay_nan_when_nothing_detected(self):
+        match = match_alarms(np.zeros(0), [SeizureEvent(1.0, 2.0)])
+        assert np.isnan(match.mean_delay_s)
+
+    def test_no_seizures_all_false(self):
+        match = match_alarms(np.array([5.0, 50.0]), [])
+        assert match.n_false_alarms == 2
+        assert match.detected.size == 0

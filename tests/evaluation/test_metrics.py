@@ -1,0 +1,88 @@
+"""Tests for repro.evaluation.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.data.model import SeizureEvent
+from repro.evaluation.metrics import (
+    DetectionMetrics,
+    compute_metrics,
+    mean_sensitivity,
+    pool_metrics,
+)
+
+
+class TestDetectionMetrics:
+    def test_sensitivity(self):
+        metrics = DetectionMetrics(4, 3, 0, 1.0)
+        assert metrics.sensitivity == pytest.approx(0.75)
+
+    def test_sensitivity_nan_without_seizures(self):
+        assert np.isnan(DetectionMetrics(0, 0, 0, 1.0).sensitivity)
+
+    def test_fdr(self):
+        metrics = DetectionMetrics(1, 1, 3, 2.0)
+        assert metrics.fdr_per_hour == pytest.approx(1.5)
+
+    def test_fdr_nan_without_hours(self):
+        assert np.isnan(DetectionMetrics(1, 1, 3, 0.0).fdr_per_hour)
+
+    def test_mean_delay(self):
+        metrics = DetectionMetrics(2, 2, 0, 1.0, delays_s=(10.0, 20.0))
+        assert metrics.mean_delay_s == pytest.approx(15.0)
+
+    def test_mean_delay_nan_without_detections(self):
+        assert np.isnan(DetectionMetrics(2, 0, 0, 1.0).mean_delay_s)
+
+    def test_merge(self):
+        merged = DetectionMetrics(2, 1, 1, 1.0, (5.0,)).merged_with(
+            DetectionMetrics(3, 3, 0, 2.0, (1.0, 2.0, 3.0))
+        )
+        assert merged.n_seizures == 5
+        assert merged.n_detected == 4
+        assert merged.n_false_alarms == 1
+        assert merged.interictal_hours == pytest.approx(3.0)
+        assert len(merged.delays_s) == 4
+
+
+class TestComputeMetrics:
+    def test_end_to_end(self):
+        seizures = [SeizureEvent(100.0, 130.0), SeizureEvent(300.0, 330.0)]
+        alarms = np.array([110.0, 200.0])
+        metrics = compute_metrics(alarms, seizures, total_duration_s=3600.0)
+        assert metrics.n_seizures == 2
+        assert metrics.n_detected == 1
+        assert metrics.n_false_alarms == 1
+        assert metrics.interictal_hours == pytest.approx((3600 - 60) / 3600)
+        assert metrics.sensitivity == pytest.approx(0.5)
+
+    def test_no_alarms_zero_fdr(self):
+        metrics = compute_metrics(np.zeros(0), [], 3600.0)
+        assert metrics.fdr_per_hour == 0.0
+
+
+class TestAggregation:
+    def test_pool(self):
+        pooled = pool_metrics(
+            [DetectionMetrics(2, 2, 0, 1.0), DetectionMetrics(2, 1, 2, 1.0)]
+        )
+        assert pooled.n_seizures == 4
+        assert pooled.n_detected == 3
+        assert pooled.fdr_per_hour == pytest.approx(1.0)
+
+    def test_pool_empty_raises(self):
+        with pytest.raises(ValueError):
+            pool_metrics([])
+
+    def test_mean_sensitivity_unweighted(self):
+        # The paper's "mean" row averages per-patient sensitivities, so a
+        # 1-seizure patient weighs as much as a 21-seizure one.
+        values = [
+            DetectionMetrics(1, 1, 0, 1.0),
+            DetectionMetrics(20, 10, 0, 1.0),
+        ]
+        assert mean_sensitivity(values) == pytest.approx(0.75)
+
+    def test_mean_sensitivity_skips_empty_patients(self):
+        values = [DetectionMetrics(0, 0, 0, 1.0), DetectionMetrics(2, 1, 0, 1.0)]
+        assert mean_sensitivity(values) == pytest.approx(0.5)

@@ -1,0 +1,82 @@
+"""Tests for repro.evaluation.operating (t_r characteristics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LaelapsConfig
+from repro.core.detector import LaelapsDetector
+from repro.data.cohort import PatientSpec, synthesize_patient
+from repro.evaluation.operating import (
+    auto_tr_grid,
+    tr_operating_curve,
+    zero_fdr_plateau,
+)
+from repro.evaluation.runner import run_patient
+
+
+@pytest.fixture(scope="module")
+def runs():
+    patients = [
+        synthesize_patient(
+            PatientSpec(f"OC{k}", n_electrodes=8, n_seizures=3,
+                        recording_hours=0.08, train_seizures=1, seed=80 + k),
+            hours_scale=1.0, fs=256.0,
+        )
+        for k in range(2)
+    ]
+
+    def factory(n_electrodes, fs):
+        return LaelapsDetector(
+            n_electrodes, LaelapsConfig(dim=1_000, fs=fs, seed=7)
+        )
+
+    return [run_patient(factory, p) for p in patients]
+
+
+class TestOperatingCurve:
+    def test_curve_is_monotone_in_tr(self, runs):
+        curve = tr_operating_curve(runs)
+        detected = [p.n_detected for p in curve]
+        alarms = [p.n_false_alarms for p in curve]
+        # Raising t_r never adds detections or false alarms.
+        assert detected == sorted(detected, reverse=True)
+        assert alarms == sorted(alarms, reverse=True)
+
+    def test_extremes(self, runs):
+        curve = tr_operating_curve(runs)
+        assert curve[0].tr == 0.0
+        # At the top of the grid (max delta) nothing exceeds t_r.
+        assert curve[-1].n_detected == 0
+
+    def test_explicit_grid_respected(self, runs):
+        curve = tr_operating_curve(runs, tr_values=[5.0, 1.0, 3.0])
+        assert [p.tr for p in curve] == [1.0, 3.0, 5.0]
+
+    def test_empty_runs_raise(self):
+        with pytest.raises(ValueError):
+            tr_operating_curve([])
+
+    def test_auto_grid_starts_at_zero(self, runs):
+        grid = auto_tr_grid(runs)
+        assert grid[0] == 0.0
+        assert np.all(np.diff(grid) > 0)
+
+
+class TestZeroFdrPlateau:
+    def test_plateau_exists_on_synthetic_cohort(self, runs):
+        curve = tr_operating_curve(runs)
+        low, high = zero_fdr_plateau(curve)
+        assert 0.0 <= low <= high
+        # The paper's tuned operating point lives on this plateau: full
+        # clinical sensitivity with zero false alarms.
+        best = max(
+            p.sensitivity for p in curve if p.n_false_alarms == 0
+        )
+        assert best == pytest.approx(1.0)
+
+    def test_no_plateau_raises(self):
+        from repro.evaluation.operating import OperatingPoint
+
+        curve = [OperatingPoint(0.0, 1.0, 2.0, 4, 7)]
+        with pytest.raises(ValueError):
+            zero_fdr_plateau(curve)

@@ -1,0 +1,100 @@
+"""Tests for repro.evaluation.runner and the report renderer."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LaelapsConfig
+from repro.core.detector import LaelapsDetector
+from repro.data.cohort import PatientSpec, synthesize_patient
+from repro.evaluation.report import format_value, render_table
+from repro.evaluation.runner import (
+    evaluate_detector,
+    finalize_run,
+    run_patient,
+    tune_run_tr,
+)
+
+
+@pytest.fixture(scope="module")
+def small_patient():
+    spec = PatientSpec(
+        "PT", n_electrodes=8, n_seizures=3, recording_hours=0.1,
+        train_seizures=1, seed=21,
+    )
+    return synthesize_patient(spec, hours_scale=1.0, fs=256.0)
+
+
+def _laelaps_factory(n_electrodes: int, fs: float):
+    return LaelapsDetector(n_electrodes, LaelapsConfig(dim=1_000, fs=fs, seed=5))
+
+
+class TestRunPatient:
+    @pytest.fixture(scope="class")
+    def run(self, small_patient):
+        return run_patient(
+            _laelaps_factory, small_patient, method="laelaps",
+            interictal_lead_s=60.0,
+        )
+
+    def test_predictions_cover_both_spans(self, run):
+        assert len(run.train_preds) > 0
+        assert len(run.test_preds) > 0
+
+    def test_truth_mask_aligned(self, run):
+        assert run.train_truth.shape == run.train_preds.labels.shape
+        assert run.train_truth.any()  # the training seizure is in there
+
+    def test_test_seizures_rebased(self, run):
+        for seizure in run.test_seizures:
+            assert 0 <= seizure.onset_s <= run.test_duration_s
+
+    def test_finalize_produces_metrics(self, run):
+        result = finalize_run(run, tr=0.0)
+        assert result.metrics.n_seizures == len(run.test_seizures) == 2
+        assert result.metrics.n_detected >= 1
+
+    def test_tuned_tr_keeps_detection(self, run):
+        tr = tune_run_tr(run)
+        result = finalize_run(run, tr=tr)
+        assert result.tr == tr
+        assert result.metrics.n_detected >= 1
+
+    def test_higher_tr_never_increases_alarms(self, run):
+        low = finalize_run(run, tr=0.0)
+        high = finalize_run(run, tr=1e9)
+        assert len(high.alarm_times) <= len(low.alarm_times)
+        assert high.metrics.n_detected == 0
+
+
+class TestEvaluateDetector:
+    def test_on_fitted_detector(self, fitted_detector, mini_recording):
+        metrics = evaluate_detector(fitted_detector, mini_recording)
+        # Both seizures (train + test) are annotated in the recording.
+        assert metrics.n_seizures == 2
+        assert metrics.n_detected >= 1
+        assert metrics.interictal_hours > 0
+
+    def test_explicit_tr_override(self, fitted_detector, mini_recording):
+        strict = evaluate_detector(fitted_detector, mini_recording, tr=1e9)
+        assert strict.n_detected == 0
+
+
+class TestReport:
+    def test_format_nan_as_na(self):
+        assert format_value(float("nan")) == "n.a."
+
+    def test_format_float_precision(self):
+        assert format_value(3.14159, precision=1) == "3.1"
+
+    def test_render_table_alignment(self):
+        table = render_table(
+            ["a", "bb"], [[1, 2.5], [10, float("nan")]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "n.a." in table
+        assert len(lines) == 5
+
+    def test_render_empty_rows(self):
+        table = render_table(["x"], [])
+        assert "x" in table

@@ -1,0 +1,104 @@
+"""Tests for repro.hdc.associative (prototype learning and queries)."""
+
+import numpy as np
+import pytest
+
+from repro.hdc.associative import AssociativeMemory, PrototypeAccumulator
+from repro.hdc.backend import hamming_distance, random_bits
+
+
+class TestPrototypeAccumulator:
+    def test_single_vector_prototype_is_vector(self, rng):
+        v = random_bits(128, rng)
+        acc = PrototypeAccumulator(128).add(v)
+        np.testing.assert_array_equal(acc.finalize(), v)
+        assert acc.n_vectors == 1
+
+    def test_majority_of_noisy_copies_recovers_centre(self, rng):
+        centre = random_bits(2048, rng)
+        noisy = np.stack([centre.copy() for _ in range(7)])
+        for row in noisy:
+            flip = rng.choice(2048, size=200, replace=False)
+            row[flip] ^= 1
+        prototype = PrototypeAccumulator(2048).add(noisy).finalize()
+        assert hamming_distance(prototype, centre) < 100
+
+
+class TestAssociativeMemory:
+    def test_store_and_query(self, rng):
+        memory = AssociativeMemory(256)
+        p0 = random_bits(256, rng)
+        p1 = random_bits(256, rng)
+        memory.store(0, p0)
+        memory.store(1, p1)
+        labels, dists = memory.classify(p1)
+        assert labels == 1
+        assert dists[1] == 0
+        assert dists[0] == hamming_distance(p0, p1)
+
+    def test_batch_classification(self, rng):
+        memory = AssociativeMemory(512)
+        p0, p1 = random_bits((2, 512), rng)
+        memory.store(0, p0)
+        memory.store(1, p1)
+        queries = np.stack([p0, p1, p0])
+        labels, dists = memory.classify(queries)
+        np.testing.assert_array_equal(labels, [0, 1, 0])
+        assert dists.shape == (3, 2)
+
+    def test_train_bundles_batch(self, rng):
+        from repro.hdc.ops import bundle
+
+        memory = AssociativeMemory(128)
+        h = random_bits((5, 128), rng)
+        memory.train(3, h)
+        np.testing.assert_array_equal(memory.prototype(3), bundle(h))
+
+    def test_store_replaces_existing(self, rng):
+        memory = AssociativeMemory(64)
+        memory.store(0, random_bits(64, rng))
+        replacement = random_bits(64, rng)
+        memory.store(0, replacement)
+        assert memory.n_classes == 1
+        np.testing.assert_array_equal(memory.prototype(0), replacement)
+
+    def test_tie_resolves_to_first_stored_class(self, rng):
+        # Equidistant query must get the first-stored (interictal) label.
+        memory = AssociativeMemory(64)
+        p0 = np.zeros(64, dtype=np.uint8)
+        p1 = np.ones(64, dtype=np.uint8)
+        memory.store(0, p0)
+        memory.store(1, p1)
+        query = np.concatenate([np.zeros(32), np.ones(32)]).astype(np.uint8)
+        labels, dists = memory.classify(query)
+        assert dists[0] == dists[1] == 32
+        assert labels == 0
+
+    def test_noise_robust_recall(self, rng):
+        # Hallmark of HD memories: heavy bit noise still recalls the
+        # right prototype at d = 2048.
+        memory = AssociativeMemory(2048)
+        p0, p1 = random_bits((2, 2048), rng)
+        memory.store(0, p0)
+        memory.store(1, p1)
+        noisy = p0.copy()
+        flip = rng.choice(2048, size=600, replace=False)  # ~30 % noise
+        noisy[flip] ^= 1
+        labels, _ = memory.classify(noisy)
+        assert labels == 0
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(KeyError):
+            AssociativeMemory(16).prototype(0)
+
+    def test_query_without_prototypes_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            AssociativeMemory(16).distances(random_bits(16, rng))
+
+    def test_wrong_shape_prototype_raises(self, rng):
+        with pytest.raises(ValueError):
+            AssociativeMemory(16).store(0, random_bits(17, rng))
+
+    def test_non_binary_prototype_raises(self):
+        with pytest.raises(ValueError):
+            AssociativeMemory(4).store(0, np.array([0, 1, 2, 1], dtype=np.uint8))

@@ -1,0 +1,96 @@
+"""Tests for repro.hdc.backend (bit packing and Hamming distances)."""
+
+import numpy as np
+import pytest
+
+from repro.hdc.backend import (
+    hamming_distance,
+    hamming_distance_packed,
+    pack_bits,
+    packed_words,
+    random_bits,
+    unpack_bits,
+)
+
+
+class TestPackedWords:
+    @pytest.mark.parametrize("dim,words", [(1, 1), (64, 1), (65, 2), (1000, 16), (10000, 157)])
+    def test_word_counts(self, dim, words):
+        assert packed_words(dim) == words
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            packed_words(0)
+
+
+class TestPackUnpackRoundTrip:
+    @pytest.mark.parametrize("dim", [1, 7, 63, 64, 65, 1000, 1023])
+    def test_round_trip_single(self, dim, rng):
+        bits = random_bits(dim, rng)
+        np.testing.assert_array_equal(unpack_bits(pack_bits(bits), dim), bits)
+
+    def test_round_trip_batch(self, rng):
+        bits = random_bits((5, 130), rng)
+        packed = pack_bits(bits)
+        assert packed.shape == (5, 3)
+        np.testing.assert_array_equal(unpack_bits(packed, 130), bits)
+
+    def test_padding_bits_are_zero(self, rng):
+        bits = np.ones(65, dtype=np.uint8)
+        packed = pack_bits(bits)
+        # Word 1 holds only bit 64; the other 63 bits must be zero.
+        assert packed[1] == 1
+
+    def test_unpack_rejects_wrong_word_count(self):
+        with pytest.raises(ValueError):
+            unpack_bits(np.zeros(2, dtype=np.uint64), 64)
+
+    def test_pack_rejects_scalar(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.uint8(1))
+
+
+class TestHamming:
+    def test_identical_vectors_zero(self, rng):
+        bits = random_bits(100, rng)
+        assert hamming_distance(bits, bits) == 0
+
+    def test_complement_distance_is_dim(self, rng):
+        bits = random_bits(100, rng)
+        assert hamming_distance(bits, 1 - bits) == 100
+
+    def test_packed_matches_unpacked(self, rng):
+        a = random_bits((8, 333), rng)
+        b = random_bits((8, 333), rng)
+        expected = hamming_distance(a, b)
+        actual = hamming_distance_packed(pack_bits(a), pack_bits(b))
+        np.testing.assert_array_equal(actual, expected)
+
+    def test_broadcasting(self, rng):
+        queries = random_bits((4, 128), rng)
+        prototypes = random_bits((2, 128), rng)
+        packed_q = pack_bits(queries)
+        packed_p = pack_bits(prototypes)
+        dists = hamming_distance_packed(
+            packed_q[:, None, :], packed_p[None, :, :]
+        )
+        assert dists.shape == (4, 2)
+        for i in range(4):
+            for j in range(2):
+                assert dists[i, j] == hamming_distance(queries[i], prototypes[j])
+
+    def test_dimension_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            hamming_distance(random_bits(10, rng), random_bits(11, rng))
+
+    def test_packed_word_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            hamming_distance_packed(
+                np.zeros(2, dtype=np.uint64), np.zeros(3, dtype=np.uint64)
+            )
+
+    def test_random_vectors_concentrate_near_half(self, rng):
+        dim = 10_000
+        a = random_bits(dim, rng)
+        b = random_bits(dim, rng)
+        assert abs(hamming_distance(a, b) / dim - 0.5) < 0.03

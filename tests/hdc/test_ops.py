@@ -1,0 +1,137 @@
+"""Tests for repro.hdc.ops (bind, bundle, permute, accumulator)."""
+
+import numpy as np
+import pytest
+
+from repro.hdc.backend import hamming_distance, random_bits
+from repro.hdc.ops import (
+    BundleAccumulator,
+    bind,
+    bundle,
+    majority_from_counts,
+    normalized_hamming,
+    permute,
+)
+
+
+class TestBind:
+    def test_self_inverse(self, rng):
+        a = random_bits(256, rng)
+        b = random_bits(256, rng)
+        np.testing.assert_array_equal(bind(a, bind(a, b)), b)
+
+    def test_commutative(self, rng):
+        a, b = random_bits((2, 256), rng)
+        np.testing.assert_array_equal(bind(a, b), bind(b, a))
+
+    def test_produces_dissimilar_vector(self, rng):
+        a = random_bits(4096, rng)
+        b = random_bits(4096, rng)
+        bound = bind(a, b)
+        assert abs(hamming_distance(bound, a) / 4096 - 0.5) < 0.05
+        assert abs(hamming_distance(bound, b) / 4096 - 0.5) < 0.05
+
+    def test_three_way(self, rng):
+        a, b, c = random_bits((3, 64), rng)
+        np.testing.assert_array_equal(bind(a, b, c), a ^ b ^ c)
+
+    def test_needs_two_vectors(self, rng):
+        with pytest.raises(ValueError):
+            bind(random_bits(8, rng))
+
+    def test_distance_preserving(self, rng):
+        # eta(a xor c, b xor c) == eta(a, b): binding is an isometry.
+        a, b, c = random_bits((3, 1024), rng)
+        assert hamming_distance(bind(a, c), bind(b, c)) == hamming_distance(a, b)
+
+
+class TestMajority:
+    def test_paper_convention_even_ties_to_zero(self):
+        # k = 2, count = 1 -> half the inputs are 0 -> result 0.
+        np.testing.assert_array_equal(
+            majority_from_counts(np.array([0, 1, 2]), 2), [0, 0, 1]
+        )
+
+    def test_odd_majority(self):
+        np.testing.assert_array_equal(
+            majority_from_counts(np.array([0, 1, 2, 3]), 3), [0, 0, 1, 1]
+        )
+
+    def test_rejects_empty_bundle(self):
+        with pytest.raises(ValueError):
+            majority_from_counts(np.array([0]), 0)
+
+
+class TestBundle:
+    def test_bundle_similar_to_inputs(self, rng):
+        vectors = random_bits((5, 4096), rng)
+        out = bundle(vectors)
+        for vec in vectors:
+            # Majority of 5: each input agrees on ~ 1 - C(4,2)/2^4 ... far
+            # above chance; just require clearly better than 0.5.
+            assert hamming_distance(out, vec) / 4096 < 0.45
+
+    def test_single_vector_identity(self, rng):
+        v = random_bits((1, 64), rng)
+        np.testing.assert_array_equal(bundle(v), v[0])
+
+    def test_duplicated_majority_wins(self, rng):
+        a = random_bits(512, rng)
+        b = random_bits(512, rng)
+        out = bundle(np.stack([a, a, b]))
+        np.testing.assert_array_equal(out, a)
+
+    def test_rejects_non_2d(self, rng):
+        with pytest.raises(ValueError):
+            bundle(random_bits(16, rng))
+
+
+class TestPermute:
+    def test_invertible(self, rng):
+        v = random_bits(128, rng)
+        np.testing.assert_array_equal(permute(permute(v, 5), -5), v)
+
+    def test_dissimilar_to_input(self, rng):
+        v = random_bits(4096, rng)
+        assert abs(hamming_distance(permute(v), v) / 4096 - 0.5) < 0.05
+
+
+class TestNormalizedHamming:
+    def test_range(self, rng):
+        a = random_bits(64, rng)
+        assert normalized_hamming(a, a) == 0.0
+        assert normalized_hamming(a, 1 - a) == 1.0
+
+    def test_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            normalized_hamming(random_bits(8, rng), random_bits(9, rng))
+
+
+class TestBundleAccumulator:
+    def test_matches_batch_bundle(self, rng):
+        vectors = random_bits((9, 256), rng)
+        acc = BundleAccumulator(256)
+        for v in vectors:
+            acc.add(v)
+        np.testing.assert_array_equal(acc.finalize(), bundle(vectors))
+
+    def test_batched_adds_equivalent(self, rng):
+        vectors = random_bits((10, 128), rng)
+        one = BundleAccumulator(128).add(vectors)
+        two = BundleAccumulator(128).add(vectors[:4]).add(vectors[4:])
+        np.testing.assert_array_equal(one.finalize(), two.finalize())
+        assert one.count == two.count == 10
+
+    def test_empty_finalize_raises(self):
+        with pytest.raises(ValueError):
+            BundleAccumulator(16).finalize()
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            BundleAccumulator(16).add(random_bits(17, rng))
+
+    def test_counts_property_is_copy(self, rng):
+        acc = BundleAccumulator(8).add(random_bits(8, rng))
+        counts = acc.counts
+        counts[:] = 99
+        assert not np.array_equal(acc.counts, counts)

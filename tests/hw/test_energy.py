@@ -1,0 +1,113 @@
+"""Tests for repro.hw.energy — the Table II / Fig. 3 claims."""
+
+import pytest
+
+from repro.hw.energy import (
+    MethodCostModel,
+    electrode_scaling,
+    fig3_points,
+    table2,
+)
+
+
+@pytest.fixture(scope="module")
+def model() -> MethodCostModel:
+    return MethodCostModel()
+
+
+class TestTable2Reproduction:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {(r["electrodes"], r["method"]): r for r in table2()}
+
+    def test_paper_time_ratios_at_128(self, rows):
+        # Paper: SVM 3.9x, CNN 16x, LSTM 487x.
+        assert rows[(128, "svm")]["time_ratio"] == pytest.approx(3.9, rel=0.05)
+        assert rows[(128, "cnn")]["time_ratio"] == pytest.approx(16.0, rel=0.05)
+        assert rows[(128, "lstm")]["time_ratio"] == pytest.approx(487.0, rel=0.05)
+
+    def test_paper_time_ratios_at_24(self, rows):
+        # Paper: SVM 1.7x, CNN 4.2x, LSTM 113x.
+        assert rows[(24, "svm")]["time_ratio"] == pytest.approx(1.7, rel=0.05)
+        assert rows[(24, "cnn")]["time_ratio"] == pytest.approx(4.2, rel=0.05)
+        assert rows[(24, "lstm")]["time_ratio"] == pytest.approx(113.0, rel=0.05)
+
+    def test_paper_energy_ratios(self, rows):
+        # Paper: SVM 2.9x/1.4x, CNN 16x/4.1x, LSTM 464x/124x (energy uses
+        # one mean power per method, so allow a wider band).
+        assert rows[(128, "svm")]["energy_ratio"] == pytest.approx(2.9, rel=0.15)
+        assert rows[(24, "svm")]["energy_ratio"] == pytest.approx(1.4, rel=0.15)
+        assert rows[(128, "cnn")]["energy_ratio"] == pytest.approx(16.0, rel=0.15)
+        assert rows[(24, "cnn")]["energy_ratio"] == pytest.approx(4.1, rel=0.15)
+        assert rows[(128, "lstm")]["energy_ratio"] == pytest.approx(464.0, rel=0.15)
+        assert rows[(24, "lstm")]["energy_ratio"] == pytest.approx(124.0, rel=0.15)
+
+    def test_laelaps_always_fastest_and_lowest_energy(self, rows):
+        for n in (24, 128):
+            for method in ("svm", "cnn", "lstm"):
+                assert rows[(n, method)]["time_ratio"] > 1.0
+                assert rows[(n, method)]["energy_ratio"] > 1.0
+
+
+class TestFig3:
+    def test_default_points_use_paper_fdr(self):
+        points = {p["method"]: p for p in fig3_points()}
+        assert points["laelaps"]["fdr_per_hour"] == 0.0
+        assert points["lstm"]["fdr_per_hour"] == pytest.approx(0.54)
+
+    def test_laelaps_dominates_pareto(self):
+        # Fig. 3's message: Laelaps is bottom-left — no method has lower
+        # energy or lower FDR.
+        points = {p["method"]: p for p in fig3_points()}
+        for method in ("svm", "cnn", "lstm"):
+            assert points[method]["energy_mj"] > points["laelaps"]["energy_mj"]
+            assert points[method]["fdr_per_hour"] >= points["laelaps"]["fdr_per_hour"]
+
+    def test_svm_beats_deep_learning_energy(self):
+        # Sec. V-C: the SVM needs up to 2 orders of magnitude less
+        # energy than the deep-learning methods.
+        points = {p["method"]: p for p in fig3_points()}
+        assert points["svm"]["energy_mj"] < points["cnn"]["energy_mj"]
+        assert points["lstm"]["energy_mj"] > 50 * points["svm"]["energy_mj"]
+
+    def test_measured_fdr_override(self):
+        points = fig3_points({"laelaps": 0.1, "svm": 0.2})
+        assert {p["method"] for p in points} == {"laelaps", "svm"}
+
+
+class TestScalingClaims:
+    def test_laelaps_nearly_constant(self, model):
+        sweep = electrode_scaling(model=model)["laelaps"]
+        times = [e.time_ms for e in sweep]
+        assert max(times) / min(times) < 1.1  # 12.5 -> 13.0 ms in the paper
+
+    def test_baselines_grow_superlinearly_in_range(self, model):
+        sweep = electrode_scaling(model=model)
+        for method in ("svm", "cnn", "lstm"):
+            times = [e.time_ms for e in sweep[method]]
+            assert times[-1] / times[0] > 2.0
+
+    def test_speedup_range_matches_abstract(self, model):
+        # Abstract: 1.7x-3.9x faster, 1.4x-2.9x lower energy than the
+        # best SoA (the SVM).
+        lo = model.estimate("laelaps", 24)
+        hi = model.estimate("laelaps", 128)
+        svm_lo = model.estimate("svm", 24)
+        svm_hi = model.estimate("svm", 128)
+        assert lo.speedup_vs(svm_lo) == pytest.approx(1.7, abs=0.1)
+        assert hi.speedup_vs(svm_hi) == pytest.approx(3.9, abs=0.1)
+        assert lo.energy_saving_vs(svm_lo) == pytest.approx(1.4, abs=0.15)
+        assert hi.energy_saving_vs(svm_hi) == pytest.approx(2.9, abs=0.3)
+
+    def test_kernel_breakdown_fits_shared_memory(self, model):
+        total_ms, costs = model.laelaps_kernel_breakdown(128, dim=1_000)
+        assert total_ms > 0
+        assert [c.name for c in costs] == ["lbp", "encoding", "classification"]
+
+    def test_unknown_method_raises(self, model):
+        with pytest.raises(KeyError):
+            model.estimate("transformer", 64)
+
+    def test_bad_electrodes_raises(self, model):
+        with pytest.raises(ValueError):
+            model.estimate("laelaps", 0)

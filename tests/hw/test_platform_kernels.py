@@ -1,0 +1,89 @@
+"""Tests for repro.hw.platform and repro.hw.kernels."""
+
+import pytest
+
+from repro.hw.kernels import (
+    KernelSpec,
+    laelaps_kernels,
+    simulate_kernel,
+    simulate_kernels,
+)
+from repro.hw.platform import MAXQ, TX2Platform
+
+
+class TestPlatform:
+    def test_datasheet_values(self):
+        assert MAXQ.gpu_sms == 2
+        assert MAXQ.gpu_cores == 256
+        assert MAXQ.gpu_clock_ghz == pytest.approx(0.85)
+        assert MAXQ.cpu_clock_ghz == pytest.approx(1.2)
+        assert MAXQ.dram_bandwidth_gbs == pytest.approx(58.4)
+        assert MAXQ.shared_mem_per_sm_kb == pytest.approx(64.0)
+
+    def test_cores_per_sm(self):
+        assert MAXQ.cores_per_sm == 128
+
+    def test_peak_flops(self):
+        # 256 cores x 0.85 GHz x 2 = 435 GFLOPS; the paper quotes
+        # 750 GFLOPS at the full 1.3 GHz clock.
+        assert MAXQ.gpu_flops_per_s == pytest.approx(435.2e9)
+
+    def test_shared_mem_fits(self):
+        assert MAXQ.shared_mem_fits(64 * 1024)
+        assert not MAXQ.shared_mem_fits(64 * 1024 + 1)
+
+
+class TestKernelModel:
+    def test_launch_overhead_floor(self):
+        spec = KernelSpec("tiny", 1, 32, instructions_per_thread=1.0)
+        cost = simulate_kernel(spec, MAXQ)
+        assert cost.time_ms >= MAXQ.kernel_launch_overhead_us * 1e-3
+
+    def test_more_blocks_more_time(self):
+        small = KernelSpec("s", 2, 256, 1000.0)
+        big = KernelSpec("b", 2048, 256, 1000.0)
+        assert (
+            simulate_kernel(big, MAXQ).time_ms
+            > simulate_kernel(small, MAXQ).time_ms
+        )
+
+    def test_memory_bound_detection(self):
+        compute = KernelSpec("c", 64, 256, 1e6, dram_bytes=1)
+        memory = KernelSpec("m", 1, 32, 1.0, dram_bytes=10**9)
+        assert simulate_kernel(compute, MAXQ).bound == "compute"
+        assert simulate_kernel(memory, MAXQ).bound == "memory"
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            KernelSpec("bad", 0, 32, 1.0)
+
+    def test_sequence_sums(self):
+        specs = [KernelSpec("a", 1, 32, 10.0), KernelSpec("b", 1, 32, 10.0)]
+        total, costs = simulate_kernels(specs, MAXQ)
+        assert total == pytest.approx(sum(c.time_ms for c in costs))
+
+
+class TestLaelapsKernels:
+    def test_grid_shapes_match_fig2(self):
+        lbp, encoding, classification = laelaps_kernels(128, dim=1_000)
+        assert lbp.blocks == 128 and lbp.threads_per_block == 256
+        assert encoding.blocks == 32 and encoding.threads_per_block == 32
+        assert classification.blocks == 1
+        assert classification.threads_per_block == 32
+
+    def test_item_memories_fit_shared_memory(self):
+        # Sec. V-B: IM1 (64 kbit) + IM2 (128 kbit) fit the 64 kB shared
+        # memory even for the largest configuration (128 electrodes,
+        # d = 1 kbit).
+        _, encoding, _ = laelaps_kernels(128, dim=1_000)
+        assert MAXQ.shared_mem_fits(encoding.shared_mem_bytes)
+
+    def test_near_constant_electrode_scaling(self):
+        t24, _ = simulate_kernels(laelaps_kernels(24, 1_000), MAXQ)
+        t128, _ = simulate_kernels(laelaps_kernels(128, 1_000), MAXQ)
+        # Sec. V-C: 12.5 ms vs 13.0 ms on hardware -> within ~10 %.
+        assert t128 / t24 < 1.6
+
+    def test_rejects_tiny_dim(self):
+        with pytest.raises(ValueError):
+            laelaps_kernels(8, dim=16)

@@ -1,0 +1,94 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LaelapsConfig
+from repro.core.detector import LaelapsDetector
+from repro.data.cohort import PatientSpec, synthesize_patient
+from repro.data.io import load_recording, save_recording
+from repro.data.splits import split_patient
+from repro.evaluation.runner import finalize_run, run_patient, tune_run_tr
+
+
+@pytest.fixture(scope="module")
+def patient():
+    spec = PatientSpec(
+        "IT1", n_electrodes=12, n_seizures=4, recording_hours=0.12,
+        train_seizures=1, n_subtle_test=1, seed=77,
+    )
+    return synthesize_patient(spec, hours_scale=1.0, fs=256.0)
+
+
+class TestFullProtocol:
+    """Synthesise -> split -> fit -> tune -> detect, as the paper does."""
+
+    @pytest.fixture(scope="class")
+    def run(self, patient):
+        def factory(n_electrodes, fs):
+            return LaelapsDetector(
+                n_electrodes, LaelapsConfig(dim=1_000, fs=fs, seed=3)
+            )
+
+        return run_patient(factory, patient, method="laelaps")
+
+    def test_detects_clinical_not_subtle(self, run):
+        tr = tune_run_tr(run)
+        result = finalize_run(run, tr=tr)
+        clinical = [s for s in run.test_seizures if s.seizure_type == "clinical"]
+        subtle = [s for s in run.test_seizures if s.seizure_type == "subtle"]
+        assert len(clinical) == 2 and len(subtle) == 1
+        # All clinical test seizures detected, the subtle one missed.
+        assert result.metrics.n_detected == len(clinical)
+
+    def test_zero_false_alarms_with_tuned_tr(self, run):
+        tr = tune_run_tr(run)
+        result = finalize_run(run, tr=tr)
+        assert result.metrics.n_false_alarms == 0
+
+    def test_delay_in_plausible_range(self, run):
+        result = finalize_run(run, tr=tune_run_tr(run))
+        for delay in result.metrics.delays_s:
+            # t_c = 10 imposes >= ~5.5 s; the paper reports 5-36 s.
+            assert 4.0 <= delay <= 40.0
+
+
+class TestDeterminismAcrossStack:
+    def test_same_seed_same_alarms(self, patient):
+        def factory(n_electrodes, fs):
+            return LaelapsDetector(
+                n_electrodes, LaelapsConfig(dim=1_000, fs=fs, seed=9)
+            )
+
+        split = split_patient(patient)
+        a = run_patient(factory, patient, split=split)
+        b = run_patient(factory, patient, split=split)
+        np.testing.assert_array_equal(a.test_preds.labels, b.test_preds.labels)
+        np.testing.assert_array_equal(a.test_preds.deltas, b.test_preds.deltas)
+
+
+class TestPersistenceRoundTrip:
+    def test_detector_results_stable_across_io(self, patient, tmp_path):
+        path = save_recording(patient.recording, tmp_path / "p.npz")
+        loaded = load_recording(path)
+        config = LaelapsConfig(dim=1_000, fs=256.0, seed=3)
+        det = LaelapsDetector(patient.recording.n_electrodes, config)
+        split = split_patient(patient)
+        det.fit(patient.recording.data, split.training_segments)
+        direct = det.predict(patient.recording.data[: 256 * 60])
+        via_io = det.predict(loaded.data[: 256 * 60])
+        np.testing.assert_array_equal(direct.labels, via_io.labels)
+
+
+class TestDimensionRobustness:
+    @pytest.mark.parametrize("dim", [1_000, 2_000])
+    def test_detection_across_dims(self, patient, dim):
+        def factory(n_electrodes, fs):
+            return LaelapsDetector(
+                n_electrodes, LaelapsConfig(dim=dim, fs=fs, seed=3)
+            )
+
+        run = run_patient(factory, patient, method="laelaps")
+        result = finalize_run(run, tr=tune_run_tr(run))
+        clinical = [s for s in run.test_seizures if s.seizure_type == "clinical"]
+        assert result.metrics.n_detected == len(clinical)

@@ -1,0 +1,98 @@
+"""Tests for repro.lbp.codes."""
+
+import numpy as np
+import pytest
+
+from repro.lbp.codes import (
+    LBPConfig,
+    lbp_codes,
+    lbp_codes_multichannel,
+    num_codes,
+    sign_bits,
+)
+
+
+class TestConfig:
+    def test_alphabet_size(self):
+        assert LBPConfig(length=6).alphabet_size == 64
+
+    @pytest.mark.parametrize("bad", [0, -1, 17])
+    def test_rejects_bad_length(self, bad):
+        with pytest.raises(ValueError):
+            LBPConfig(length=bad)
+
+
+class TestSignBits:
+    def test_increasing_signal_gives_ones(self):
+        bits = sign_bits(np.arange(5.0))
+        np.testing.assert_array_equal(bits, [1, 1, 1, 1])
+
+    def test_decreasing_signal_gives_zeros(self):
+        bits = sign_bits(np.arange(5.0)[::-1])
+        np.testing.assert_array_equal(bits, [0, 0, 0, 0])
+
+    def test_tie_counts_as_zero(self):
+        bits = sign_bits(np.array([1.0, 1.0, 2.0]))
+        np.testing.assert_array_equal(bits, [0, 1])
+
+    def test_short_signal_gives_empty(self):
+        assert sign_bits(np.array([1.0])).shape == (0,)
+
+    def test_multichannel_shape(self):
+        bits = sign_bits(np.zeros((10, 3)))
+        assert bits.shape == (9, 3)
+
+
+class TestCodes:
+    def test_monotone_rise_is_all_ones_code(self):
+        codes = lbp_codes(np.arange(10.0), length=6)
+        assert codes.shape == (4,)
+        assert np.all(codes == 0b111111)
+
+    def test_monotone_fall_is_zero_code(self):
+        codes = lbp_codes(-np.arange(10.0), length=6)
+        assert np.all(codes == 0)
+
+    def test_known_pattern_msb_first(self):
+        # Signal 0,1,0,1,0 -> bits 1,0,1,0; length 3 codes: 101, 010.
+        signal = np.array([0.0, 1.0, 0.0, 1.0, 0.0])
+        codes = lbp_codes(signal, length=3)
+        np.testing.assert_array_equal(codes, [0b101, 0b010])
+
+    def test_count_matches_num_codes(self):
+        rng = np.random.default_rng(0)
+        for n in [7, 20, 100]:
+            signal = rng.standard_normal(n)
+            assert lbp_codes(signal, 6).shape[0] == num_codes(n, 6)
+
+    def test_codes_in_alphabet_range(self):
+        rng = np.random.default_rng(1)
+        codes = lbp_codes(rng.standard_normal(1000), length=5)
+        assert codes.min() >= 0
+        assert codes.max() < 32
+
+    def test_rejects_multichannel_input(self):
+        with pytest.raises(ValueError):
+            lbp_codes(np.zeros((10, 2)))
+
+    def test_too_short_signal_gives_empty(self):
+        assert lbp_codes(np.arange(6.0), length=6).shape == (0,)
+
+
+class TestMultichannel:
+    def test_columns_match_per_channel_codes(self):
+        rng = np.random.default_rng(2)
+        signal = rng.standard_normal((50, 4))
+        multi = lbp_codes_multichannel(signal, 6)
+        for ch in range(4):
+            np.testing.assert_array_equal(
+                multi[:, ch], lbp_codes(signal[:, ch], 6)
+            )
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            lbp_codes_multichannel(np.zeros(10))
+
+    def test_dtype_is_uint16(self):
+        out = lbp_codes_multichannel(np.random.default_rng(0).standard_normal((20, 2)), 8)
+        assert out.dtype == np.uint16

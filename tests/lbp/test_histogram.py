@@ -1,0 +1,68 @@
+"""Tests for repro.lbp.histogram."""
+
+import numpy as np
+import pytest
+
+from repro.lbp.histogram import (
+    code_histogram,
+    code_histogram_multichannel,
+    sliding_histograms,
+)
+from repro.signal.windows import WindowSpec
+
+
+class TestCodeHistogram:
+    def test_counts(self):
+        hist = code_histogram(np.array([0, 1, 1, 3]), 4)
+        np.testing.assert_array_equal(hist, [1, 2, 0, 1])
+
+    def test_normalised_sums_to_one(self):
+        hist = code_histogram(np.array([0, 1, 1, 3]), 4, normalise=True)
+        assert hist.sum() == pytest.approx(1.0)
+
+    def test_empty_stream_gives_zeros(self):
+        hist = code_histogram(np.array([], dtype=int), 4, normalise=True)
+        np.testing.assert_array_equal(hist, np.zeros(4))
+
+    def test_out_of_range_code_raises(self):
+        with pytest.raises(ValueError):
+            code_histogram(np.array([4]), 4)
+
+
+class TestMultichannel:
+    def test_per_channel_counts(self):
+        codes = np.array([[0, 1], [0, 1], [1, 1]])
+        hists = code_histogram_multichannel(codes, 2)
+        np.testing.assert_array_equal(hists[0], [2, 1])
+        np.testing.assert_array_equal(hists[1], [0, 3])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            code_histogram_multichannel(np.zeros(5, dtype=int), 4)
+
+
+class TestSlidingHistograms:
+    def test_shape(self):
+        codes = np.zeros((20, 3), dtype=int)
+        out = sliding_histograms(codes, 4, WindowSpec(8, 4))
+        assert out.shape == (4, 3, 4)
+
+    def test_window_content_matches_manual(self):
+        rng = np.random.default_rng(0)
+        codes = rng.integers(0, 4, size=(30, 2))
+        spec = WindowSpec(10, 5)
+        out = sliding_histograms(codes, 4, spec, normalise=False)
+        manual = np.array(
+            [np.bincount(codes[5 : 15, 1], minlength=4)], dtype=float
+        )
+        np.testing.assert_array_equal(out[1, 1], manual[0])
+
+    def test_normalisation_per_channel(self):
+        rng = np.random.default_rng(1)
+        codes = rng.integers(0, 8, size=(40, 2))
+        out = sliding_histograms(codes, 8, WindowSpec(16, 8), normalise=True)
+        np.testing.assert_allclose(out.sum(axis=2), 1.0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            sliding_histograms(np.zeros(5, dtype=int), 4, WindowSpec(2, 1))

@@ -1,0 +1,84 @@
+"""Tests for repro.lbp.stats and the documented ictal/interictal contrast."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SeizurePlan, SynthesisParams, SyntheticIEEGGenerator
+from repro.lbp.codes import lbp_codes_multichannel
+from repro.lbp.histogram import code_histogram
+from repro.lbp.stats import (
+    code_entropy,
+    dominant_code_fraction,
+    histogram_flatness,
+    occupied_fraction,
+)
+
+
+class TestEntropy:
+    def test_uniform_histogram_max_entropy(self):
+        assert code_entropy(np.ones(64)) == pytest.approx(6.0)
+
+    def test_degenerate_histogram_zero_entropy(self):
+        hist = np.zeros(64)
+        hist[3] = 10
+        assert code_entropy(hist) == pytest.approx(0.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            code_entropy(np.zeros(4))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            code_entropy(np.array([1.0, -1.0]))
+
+
+class TestFlatness:
+    def test_uniform_is_one(self):
+        assert histogram_flatness(np.ones(16)) == pytest.approx(1.0)
+
+    def test_degenerate_is_zero(self):
+        hist = np.zeros(16)
+        hist[0] = 5
+        assert histogram_flatness(hist) == pytest.approx(0.0)
+
+    def test_single_bin_defined_zero(self):
+        assert histogram_flatness(np.array([3.0])) == 0.0
+
+
+class TestDominantAndOccupied:
+    def test_dominant_fraction(self):
+        assert dominant_code_fraction(np.array([1.0, 3.0])) == pytest.approx(0.75)
+
+    def test_occupied_fraction(self):
+        assert occupied_fraction(np.array([0.0, 2.0, 0.0, 1.0])) == pytest.approx(0.5)
+
+    def test_occupied_rejects_empty_array(self):
+        with pytest.raises(ValueError):
+            occupied_fraction(np.array([]))
+
+
+class TestSectionIIAContrast:
+    """The generator must reproduce the paper's Sec. II-A observation."""
+
+    @pytest.fixture(scope="class")
+    def histograms(self):
+        params = SynthesisParams(fs=256.0)
+        generator = SyntheticIEEGGenerator(16, params, seed=3)
+        recording = generator.generate(120.0, [SeizurePlan(60.0, 30.0)])
+        codes = lbp_codes_multichannel(recording.data, 6)
+        fs = int(params.fs)
+        ictal = code_histogram(codes[66 * fs : 88 * fs].ravel(), 64)
+        interictal = code_histogram(codes[5 * fs : 55 * fs].ravel(), 64)
+        return ictal, interictal
+
+    def test_interictal_histogram_flattened(self, histograms):
+        _, interictal = histograms
+        assert histogram_flatness(interictal) > 0.9
+
+    def test_ictal_histogram_concentrated(self, histograms):
+        ictal, interictal = histograms
+        assert histogram_flatness(ictal) < histogram_flatness(interictal) - 0.05
+
+    def test_ictal_has_predominant_code(self, histograms):
+        ictal, interictal = histograms
+        assert dominant_code_fraction(ictal) > 4 * dominant_code_fraction(interictal)

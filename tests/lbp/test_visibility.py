@@ -1,0 +1,131 @@
+"""Tests for the HVG symbolisation comparator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.symbolizers import HVGSymbolizer, LBPSymbolizer
+from repro.lbp.visibility import (
+    hvg_alphabet_size,
+    hvg_codes,
+    hvg_codes_multichannel,
+    hvg_degrees,
+)
+
+
+def _brute_force_degrees(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """O(n^2) reference: i sees j (i<j) iff all between are < min(xi, xj)."""
+    n = x.size
+    in_deg = np.zeros(n, dtype=np.int64)
+    out_deg = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        for j in range(i + 1, n):
+            between = x[i + 1 : j]
+            if between.size == 0 or between.max() < min(x[i], x[j]):
+                out_deg[i] += 1
+                in_deg[j] += 1
+    return in_deg, out_deg
+
+
+class TestHvgDegrees:
+    def test_matches_brute_force_random(self, rng):
+        for _ in range(10):
+            x = rng.standard_normal(rng.integers(2, 40))
+            fast = hvg_degrees(x)
+            slow = _brute_force_degrees(x)
+            np.testing.assert_array_equal(fast[0], slow[0])
+            np.testing.assert_array_equal(fast[1], slow[1])
+
+    def test_monotone_rise(self):
+        # Strictly increasing: every point sees exactly its neighbour(s).
+        in_deg, out_deg = hvg_degrees(np.arange(5.0))
+        np.testing.assert_array_equal(out_deg, [1, 1, 1, 1, 0])
+        np.testing.assert_array_equal(in_deg, [0, 1, 1, 1, 1])
+
+    def test_valley_sees_across(self):
+        # 2, 0, 3: the two peaks see each other over the valley.
+        in_deg, out_deg = hvg_degrees(np.array([2.0, 0.0, 3.0]))
+        assert out_deg[0] == 2  # sees the valley and the far peak
+        assert in_deg[2] == 2
+
+    def test_plateaus_match_brute_force(self, rng):
+        for _ in range(10):
+            x = rng.integers(0, 3, size=20).astype(float)  # many ties
+            fast = hvg_degrees(x)
+            slow = _brute_force_degrees(x)
+            np.testing.assert_array_equal(fast[0], slow[0])
+            np.testing.assert_array_equal(fast[1], slow[1])
+
+    @settings(max_examples=60, deadline=None)
+    @given(hnp.arrays(np.float64, st.integers(2, 30),
+                      elements=st.floats(-100, 100, allow_nan=False)))
+    def test_property_matches_brute_force(self, x):
+        fast = hvg_degrees(x)
+        slow = _brute_force_degrees(x)
+        np.testing.assert_array_equal(fast[0], slow[0])
+        np.testing.assert_array_equal(fast[1], slow[1])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            hvg_degrees(np.zeros((4, 2)))
+
+
+class TestHvgCodes:
+    def test_alphabet(self):
+        assert hvg_alphabet_size(7) == 64
+
+    def test_codes_in_range(self, rng):
+        codes = hvg_codes(rng.standard_normal(500), degree_cap=7)
+        assert codes.min() >= 0
+        assert codes.max() < 64
+
+    def test_cap_applied(self):
+        # A huge valley gives the first point a large out degree.
+        x = np.concatenate([[100.0], -np.arange(50.0), [101.0]])
+        codes = hvg_codes(x, degree_cap=3)
+        assert codes.max() < hvg_alphabet_size(3)
+
+    def test_multichannel_matches_per_channel(self, rng):
+        signal = rng.standard_normal((60, 3))
+        multi = hvg_codes_multichannel(signal)
+        for ch in range(3):
+            np.testing.assert_array_equal(multi[:, ch], hvg_codes(signal[:, ch]))
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ValueError):
+            hvg_codes(np.zeros(10), degree_cap=0)
+
+
+class TestSymbolizersInDetector:
+    def test_hvg_detector_runs(self, mini_recording, mini_segments, small_config):
+        from repro.core.detector import LaelapsDetector
+
+        det = LaelapsDetector(
+            mini_recording.n_electrodes, small_config,
+            symbolizer=HVGSymbolizer(),
+        )
+        assert det.code_memory.n_items == 64
+        det.fit(mini_recording.data, mini_segments)
+        preds = det.predict(mini_recording.data[: 256 * 30])
+        assert len(preds) > 0
+
+    def test_lbp_symbolizer_is_default(self, small_config):
+        from repro.core.detector import LaelapsDetector
+
+        det = LaelapsDetector(4, small_config)
+        assert isinstance(det.symbolizer, LBPSymbolizer)
+        assert det.symbolizer.length == small_config.lbp_length
+
+    def test_streaming_rejects_non_lbp(self, mini_recording, mini_segments, small_config):
+        from repro.core.detector import LaelapsDetector
+        from repro.core.streaming import StreamingLaelaps
+
+        det = LaelapsDetector(
+            mini_recording.n_electrodes, small_config,
+            symbolizer=HVGSymbolizer(),
+        )
+        det.fit(mini_recording.data, mini_segments)
+        with pytest.raises(ValueError):
+            StreamingLaelaps(det)

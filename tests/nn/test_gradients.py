@@ -1,0 +1,114 @@
+"""Numerical gradient checks for every layer of repro.nn."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    LSTM,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAveragePool2d,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.gradcheck import gradient_check
+
+
+@pytest.fixture()
+def x_small(rng):
+    return rng.standard_normal((3, 5))
+
+
+class TestLayerGradients:
+    def test_linear(self, rng, x_small):
+        gradient_check(Linear(5, 4, seed=1), x_small)
+
+    def test_linear_no_bias(self, rng, x_small):
+        gradient_check(Linear(5, 4, seed=1, bias=False), x_small)
+
+    def test_relu(self, rng):
+        # Offset inputs away from the kink at zero.
+        x = rng.standard_normal((4, 6)) + np.where(
+            rng.random((4, 6)) > 0.5, 1.0, -1.0
+        )
+        gradient_check(ReLU(), x)
+
+    def test_leaky_relu(self, rng):
+        x = rng.standard_normal((4, 6)) + np.where(
+            rng.random((4, 6)) > 0.5, 1.0, -1.0
+        )
+        gradient_check(LeakyReLU(0.1), x)
+
+    def test_tanh(self, rng):
+        gradient_check(Tanh(), rng.standard_normal((3, 4)))
+
+    def test_sigmoid(self, rng):
+        gradient_check(Sigmoid(), rng.standard_normal((3, 4)))
+
+    def test_conv2d(self, rng):
+        x = rng.standard_normal((2, 2, 6, 6))
+        gradient_check(Conv2d(2, 3, 3, padding=1, seed=2), x, tol=1e-4)
+
+    def test_conv2d_stride(self, rng):
+        x = rng.standard_normal((2, 1, 8, 8))
+        gradient_check(Conv2d(1, 2, 3, stride=2, padding=0, seed=3), x, tol=1e-4)
+
+    def test_maxpool(self, rng):
+        # Well-separated values avoid argmax ties under perturbation.
+        x = rng.permutation(np.arange(2 * 2 * 4 * 4).astype(float)).reshape(2, 2, 4, 4)
+        gradient_check(MaxPool2d(2), x)
+
+    def test_global_average_pool(self, rng):
+        gradient_check(GlobalAveragePool2d(), rng.standard_normal((2, 3, 4, 4)))
+
+    def test_flatten(self, rng):
+        gradient_check(Flatten(), rng.standard_normal((2, 3, 4)))
+
+    def test_lstm(self, rng):
+        x = rng.standard_normal((2, 5, 3))
+        gradient_check(LSTM(3, 4, seed=4), x, tol=1e-4)
+
+    def test_sequential_cnn_stack(self, rng):
+        model = Sequential(
+            Conv2d(1, 2, 3, padding=1, seed=5),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Linear(2 * 2 * 2, 3, seed=6),
+        )
+        x = rng.standard_normal((2, 1, 4, 4)) * 2.0
+        gradient_check(model, x, tol=1e-4)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        dropout = Dropout(0.5, seed=1).eval()
+        x = rng.standard_normal((4, 4))
+        np.testing.assert_array_equal(dropout.forward(x), x)
+
+    def test_train_mode_scales_kept_units(self, rng):
+        dropout = Dropout(0.5, seed=1)
+        dropout.train(True)
+        x = np.ones((2000, 1))
+        y = dropout.forward(x)
+        kept = y[y != 0]
+        np.testing.assert_allclose(kept, 2.0)
+        assert 0.4 < (y != 0).mean() < 0.6
+
+    def test_backward_uses_same_mask(self, rng):
+        dropout = Dropout(0.5, seed=2)
+        dropout.train(True)
+        x = rng.standard_normal((5, 5))
+        y = dropout.forward(x)
+        grad = dropout.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad != 0, y != 0)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)

@@ -1,0 +1,122 @@
+"""Tests for repro.nn losses and optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Linear, hinge_loss, softmax_cross_entropy
+from repro.nn.gradcheck import numerical_gradient
+from repro.nn.losses import softmax
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        probs = softmax(rng.standard_normal((5, 3)))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_stable_with_large_logits(self):
+        probs = softmax(np.array([[1000.0, 1000.0]]))
+        np.testing.assert_allclose(probs, [[0.5, 0.5]])
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_gradient_matches_numerical(self, rng):
+        logits = rng.standard_normal((4, 3))
+        targets = np.array([0, 2, 1, 1])
+
+        def f(x):
+            return softmax_cross_entropy(x, targets)[0]
+
+        _, grad = softmax_cross_entropy(logits.copy(), targets)
+        numeric = numerical_gradient(f, logits.copy())
+        np.testing.assert_allclose(grad, numeric, atol=1e-6)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((2, 2)), np.zeros(3, dtype=int))
+
+
+class TestHinge:
+    def test_zero_loss_beyond_margin(self):
+        loss, grad = hinge_loss(np.array([2.0, -2.0]), np.array([1.0, -1.0]))
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, 0.0)
+
+    def test_gradient_matches_numerical(self, rng):
+        scores = rng.standard_normal(6) * 2
+        y = np.where(rng.random(6) > 0.5, 1.0, -1.0)
+
+        def f(s):
+            return hinge_loss(s, y)[0]
+
+        _, grad = hinge_loss(scores.copy(), y)
+        numeric = numerical_gradient(f, scores.copy())
+        np.testing.assert_allclose(grad, numeric, atol=1e-5)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            hinge_loss(np.zeros(3), np.zeros(4))
+
+
+def _quadratic_problem(seed=0):
+    """A linear layer fit to a fixed random regression target."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((64, 4))
+    true_w = rng.standard_normal((4, 2))
+    y = x @ true_w
+    layer = Linear(4, 2, seed=seed)
+
+    def loss_and_grad():
+        pred = layer.forward(x)
+        diff = pred - y
+        loss = float((diff**2).mean())
+        layer.zero_grad()
+        layer.backward(2 * diff / diff.size)
+        return loss
+
+    return layer, loss_and_grad
+
+
+class TestOptimisers:
+    @pytest.mark.parametrize("make_opt", [
+        lambda p: SGD(p, lr=0.1),
+        lambda p: SGD(p, lr=0.05, momentum=0.9),
+        lambda p: Adam(p, lr=0.05),
+    ])
+    def test_converges_on_regression(self, make_opt):
+        layer, loss_and_grad = _quadratic_problem()
+        optimizer = make_opt(layer.parameters())
+        first = loss_and_grad()
+        optimizer.step()
+        for _ in range(200):
+            loss = loss_and_grad()
+            optimizer.step()
+        assert loss < 0.01 * first
+
+    def test_weight_decay_shrinks_weights(self):
+        layer, loss_and_grad = _quadratic_problem()
+        optimizer = SGD(layer.parameters(), lr=0.01, weight_decay=10.0)
+        for _ in range(100):
+            loss_and_grad()
+            optimizer.step()
+        assert np.abs(layer.weight.data).mean() < 0.1
+
+    def test_zero_grad(self):
+        layer, loss_and_grad = _quadratic_problem()
+        loss_and_grad()
+        optimizer = SGD(layer.parameters(), lr=0.1)
+        optimizer.zero_grad()
+        assert all(np.all(p.grad == 0) for p in layer.parameters())
+
+    def test_empty_parameters_raise(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_bad_lr_raises(self):
+        layer, _ = _quadratic_problem()
+        with pytest.raises(ValueError):
+            Adam(layer.parameters(), lr=0.0)

@@ -1,0 +1,54 @@
+"""Tests for repro.nn.module structure (parameters, modes)."""
+
+import numpy as np
+
+from repro.nn import LSTM, Conv2d, Dropout, Linear, ReLU, Sequential
+from repro.nn.module import Parameter
+
+
+class TestParameterDiscovery:
+    def test_linear_has_two_parameters(self):
+        assert len(Linear(3, 2).parameters()) == 2
+
+    def test_sequential_collects_recursively(self):
+        model = Sequential(Linear(3, 4), ReLU(), Linear(4, 2))
+        assert len(model.parameters()) == 4
+
+    def test_lstm_exposes_cell_parameters(self):
+        assert len(LSTM(3, 4).parameters()) == 2
+
+    def test_n_parameters_counts_scalars(self):
+        model = Linear(3, 2)
+        assert model.n_parameters() == 3 * 2 + 2
+
+    def test_zero_grad_clears_all(self, rng):
+        model = Sequential(Linear(3, 4), ReLU(), Linear(4, 2))
+        out = model.forward(rng.standard_normal((2, 3)))
+        model.backward(np.ones_like(out))
+        assert any(np.any(p.grad != 0) for p in model.parameters())
+        model.zero_grad()
+        assert all(np.all(p.grad == 0) for p in model.parameters())
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        model = Sequential(Conv2d(1, 2, 3), Dropout(0.5), Linear(2, 2))
+        model.eval()
+        assert not model.modules[1].training
+        model.train(True)
+        assert model.modules[1].training
+
+    def test_parameter_repr(self):
+        param = Parameter(np.zeros((2, 3)), name="weight")
+        assert "weight" in repr(param)
+        assert "(2, 3)" in repr(param)
+
+
+class TestSequentialDataflow:
+    def test_forward_backward_shapes(self, rng):
+        model = Sequential(Linear(6, 5), ReLU(), Linear(5, 3))
+        x = rng.standard_normal((4, 6))
+        out = model.forward(x)
+        assert out.shape == (4, 3)
+        grad = model.backward(np.ones((4, 3)))
+        assert grad.shape == (4, 6)

@@ -1,0 +1,66 @@
+"""Property-based tests for the LBP symbolisation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.lbp.codes import lbp_codes, num_codes, sign_bits
+
+SIGNALS = hnp.arrays(
+    np.float64,
+    st.integers(2, 200),
+    elements=st.floats(-1e6, 1e6, allow_nan=False),
+)
+LENGTHS = st.integers(1, 8)
+
+
+class TestLbpProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(SIGNALS, LENGTHS)
+    def test_count_and_range(self, signal, length):
+        codes = lbp_codes(signal, length)
+        assert codes.shape[0] == num_codes(signal.size, length)
+        if codes.size:
+            assert codes.min() >= 0
+            assert codes.max() < (1 << length)
+
+    @settings(max_examples=80, deadline=None)
+    @given(SIGNALS, LENGTHS)
+    def test_amplitude_invariance(self, signal, length):
+        # LBP depends only on the sign of differences: positive scaling
+        # changes nothing.  (Additive offsets also preserve codes on real
+        # signals but can absorb sub-epsilon differences in float64, so
+        # only the exact scale property is asserted.)
+        np.testing.assert_array_equal(
+            lbp_codes(signal, length), lbp_codes(signal * 3.5, length)
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(SIGNALS)
+    def test_negation_flips_strict_bits(self, signal):
+        # Where the signal strictly decreases, the negated signal
+        # strictly increases; ties stay 0 in both.
+        bits = sign_bits(signal)
+        neg_bits = sign_bits(-signal)
+        diffs = np.diff(signal)
+        strict = diffs != 0
+        assert not np.any(bits[strict] & neg_bits[strict])
+        assert np.all((bits | neg_bits)[strict] == 1)
+        ties = ~strict
+        assert not np.any(bits[ties]) and not np.any(neg_bits[ties])
+
+    @settings(max_examples=80, deadline=None)
+    @given(SIGNALS, LENGTHS)
+    def test_shift_equivariance(self, signal, length):
+        # Codes of signal[1:] are codes of signal shifted by one.
+        full = lbp_codes(signal, length)
+        shifted = lbp_codes(signal[1:], length)
+        if shifted.size:
+            np.testing.assert_array_equal(full[1:], shifted)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 50))
+    def test_constant_signal_is_all_zero_codes(self, n):
+        codes = lbp_codes(np.ones(n), 4)
+        assert np.all(codes == 0)

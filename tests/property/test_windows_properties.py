@@ -1,0 +1,56 @@
+"""Property-based tests for window geometry and the encoder alignment."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signal.windows import WindowSpec, num_windows, window_start_indices, window_view
+
+
+@st.composite
+def spec_and_length(draw):
+    window = draw(st.integers(1, 64))
+    step = draw(st.integers(1, window))
+    n = draw(st.integers(0, 500))
+    return WindowSpec(window, step), n
+
+
+class TestWindowProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(spec_and_length())
+    def test_counts_consistent(self, case):
+        spec, n = case
+        count = num_windows(n, spec)
+        starts = window_start_indices(n, spec)
+        assert len(starts) == count
+        if count:
+            # Every window fits entirely inside the signal.
+            assert starts[-1] + spec.window_samples <= n
+            # One more window would not fit.
+            assert starts[-1] + spec.step_samples + spec.window_samples > n
+
+    @settings(max_examples=100, deadline=None)
+    @given(spec_and_length())
+    def test_view_matches_slices(self, case):
+        spec, n = case
+        data = np.arange(n)
+        view = window_view(data, spec)
+        for i, start in enumerate(window_start_indices(n, spec)):
+            np.testing.assert_array_equal(
+                view[i], data[start : start + spec.window_samples]
+            )
+
+    @settings(max_examples=100, deadline=None)
+    @given(spec_and_length())
+    def test_full_coverage_when_step_divides(self, case):
+        spec, n = case
+        count = num_windows(n, spec)
+        if count == 0:
+            return
+        covered = np.zeros(n, dtype=bool)
+        for start in window_start_indices(n, spec):
+            covered[start : start + spec.window_samples] = True
+        # All samples up to the last window's end are covered (windows
+        # overlap or tile; no interior gaps).
+        last_end = window_start_indices(n, spec)[-1] + spec.window_samples
+        assert covered[:last_end].all()

@@ -1,0 +1,113 @@
+"""Tests for repro.signal.filters."""
+
+import numpy as np
+import pytest
+
+from repro.signal.filters import (
+    bandpass_filter,
+    decimate,
+    design_bandpass,
+    design_notch,
+    notch_filter,
+)
+
+
+def _tone(freq_hz: float, fs: float, duration_s: float = 4.0) -> np.ndarray:
+    t = np.arange(int(duration_s * fs)) / fs
+    return np.sin(2 * np.pi * freq_hz * t)
+
+
+class TestDesignBandpass:
+    def test_rejects_inverted_band(self):
+        with pytest.raises(ValueError):
+            design_bandpass(40.0, 10.0, 256.0)
+
+    def test_rejects_zero_low_edge(self):
+        with pytest.raises(ValueError):
+            design_bandpass(0.0, 10.0, 256.0)
+
+    def test_rejects_high_edge_at_nyquist(self):
+        with pytest.raises(ValueError):
+            design_bandpass(1.0, 128.0, 256.0)
+
+    def test_description_mentions_band(self):
+        spec = design_bandpass(0.5, 100.0, 256.0)
+        assert "0.5" in spec.description and "100" in spec.description
+
+
+class TestBandpassBehaviour:
+    def test_passband_tone_preserved(self):
+        fs = 256.0
+        x = _tone(20.0, fs)
+        y = bandpass_filter(x, 1.0, 60.0, fs)
+        # Zero-phase Butterworth: passband amplitude within a few percent.
+        assert np.abs(y[256:-256]).max() == pytest.approx(1.0, abs=0.05)
+
+    def test_stopband_tone_suppressed(self):
+        fs = 256.0
+        x = _tone(100.0, fs)
+        y = bandpass_filter(x, 1.0, 40.0, fs)
+        assert np.abs(y[256:-256]).max() < 0.02
+
+    def test_multichannel_filters_each_column(self):
+        fs = 256.0
+        x = np.stack([_tone(20.0, fs), _tone(100.0, fs)], axis=1)
+        y = bandpass_filter(x, 1.0, 40.0, fs)
+        assert np.abs(y[256:-256, 0]).max() > 0.5
+        assert np.abs(y[256:-256, 1]).max() < 0.05
+
+    def test_too_short_signal_raises(self):
+        spec = design_bandpass(1.0, 40.0, 256.0)
+        with pytest.raises(ValueError):
+            spec.apply(np.array([1.0]))
+
+    def test_rejects_3d_input(self):
+        spec = design_bandpass(1.0, 40.0, 256.0)
+        with pytest.raises(ValueError):
+            spec.apply(np.zeros((10, 2, 2)))
+
+
+class TestNotch:
+    def test_notch_kills_line_frequency(self):
+        fs = 256.0
+        x = _tone(50.0, fs)
+        y = notch_filter(x, 50.0, fs)
+        assert np.abs(y[256:-256]).max() < 0.1
+
+    def test_notch_preserves_neighbours(self):
+        fs = 256.0
+        x = _tone(20.0, fs)
+        y = notch_filter(x, 50.0, fs)
+        assert np.abs(y[256:-256]).max() > 0.9
+
+    def test_invalid_frequency_raises(self):
+        with pytest.raises(ValueError):
+            design_notch(200.0, 256.0)
+
+
+class TestDecimate:
+    def test_factor_one_is_identity(self):
+        x = np.random.default_rng(0).standard_normal(100)
+        y, fs = decimate(x, 1, 256.0)
+        np.testing.assert_array_equal(x, y)
+        assert fs == 256.0
+
+    def test_halves_length_and_rate(self):
+        x = np.random.default_rng(0).standard_normal(1000)
+        y, fs = decimate(x, 2, 256.0)
+        assert fs == 128.0
+        assert y.shape[0] == 500
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            decimate(np.zeros(10), 0, 256.0)
+
+    def test_preserves_low_frequency_content(self):
+        fs = 256.0
+        x = _tone(5.0, fs, 8.0)
+        y, new_fs = decimate(x, 4, fs)
+        t = np.arange(len(y)) / new_fs
+        expected = np.sin(2 * np.pi * 5.0 * t)
+        # Compare away from the edges.
+        sl = slice(64, -64)
+        assert np.corrcoef(y[sl], expected[sl])[0, 1] > 0.99

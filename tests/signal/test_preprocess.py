@@ -1,0 +1,60 @@
+"""Tests for repro.signal.preprocess."""
+
+import numpy as np
+import pytest
+
+from repro.signal.preprocess import PreprocessConfig, Preprocessor
+
+
+def test_default_config_matches_dataset_pipeline():
+    cfg = PreprocessConfig()
+    assert cfg.fs_in == 512.0
+    assert cfg.bandpass_low_hz == 0.5
+    assert cfg.bandpass_high_hz == 150.0
+    assert cfg.fs_out == 512.0
+
+
+def test_fs_out_reflects_decimation():
+    cfg = PreprocessConfig(fs_in=512.0, decimation=2)
+    assert cfg.fs_out == 256.0
+
+
+def test_preprocessor_removes_dc_offset():
+    pre = Preprocessor(PreprocessConfig(fs_in=256.0, bandpass_high_hz=100.0))
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((2048, 3)) + 100.0
+    y = pre(x)
+    assert abs(y.mean()) < 0.5
+
+
+def test_preprocessor_decimates_length():
+    pre = Preprocessor(
+        PreprocessConfig(fs_in=512.0, bandpass_high_hz=100.0, decimation=2)
+    )
+    x = np.random.default_rng(0).standard_normal((1024, 2))
+    y = pre(x)
+    assert y.shape[0] == 512
+    assert pre.fs_out == 256.0
+
+
+def test_notch_option_runs():
+    pre = Preprocessor(
+        PreprocessConfig(fs_in=256.0, bandpass_high_hz=100.0, notch_hz=50.0)
+    )
+    t = np.arange(2048) / 256.0
+    x = np.sin(2 * np.pi * 50.0 * t)[:, None]
+    y = pre(x)
+    assert np.abs(y[256:-256]).max() < 0.2
+
+
+def test_high_edge_clipped_below_nyquist():
+    # fs 256 -> Nyquist 128 < requested 150; must not raise.
+    pre = Preprocessor(PreprocessConfig(fs_in=256.0))
+    x = np.random.default_rng(0).standard_normal((512, 1))
+    assert pre(x).shape == (512, 1)
+
+
+def test_rejects_bad_input_shape():
+    pre = Preprocessor(PreprocessConfig(fs_in=256.0, bandpass_high_hz=100.0))
+    with pytest.raises(ValueError):
+        pre(np.zeros((4, 2, 2)))

@@ -1,0 +1,105 @@
+"""Tests for repro.signal.quality."""
+
+import numpy as np
+import pytest
+
+from repro.data.failures import kill_electrodes, saturate_electrodes
+from repro.signal.quality import assess_channels, mask_bad_channels
+
+FS = 256.0
+
+
+@pytest.fixture()
+def clean(rng):
+    return rng.standard_normal((int(20 * FS), 6))
+
+
+class TestAssessChannels:
+    def test_clean_recording_all_good(self, clean):
+        report = assess_channels(clean, FS)
+        assert report.n_bad == 0
+        np.testing.assert_array_equal(report.good_channels(), np.arange(6))
+
+    def test_detects_flatline(self, clean):
+        clean[:, 2] = 0.0
+        report = assess_channels(clean, FS)
+        assert report.bad[2]
+        assert report.flatline_fraction[2] == 1.0
+
+    def test_detects_partial_flatline(self, clean):
+        clean[clean.shape[0] // 2 :, 1] = 3.14
+        report = assess_channels(clean, FS)
+        assert report.bad[1]
+
+    def test_detects_saturation(self, clean):
+        clipped = np.clip(clean[:, 3], -0.8, 0.8)
+        clean[:, 3] = clipped
+        report = assess_channels(clean, FS)
+        assert report.bad[3]
+        assert report.saturation_fraction[3] > 0.05
+
+    def test_detects_std_outlier(self, clean):
+        clean[:, 0] *= 1000.0
+        report = assess_channels(clean, FS)
+        assert report.bad[0]
+
+    def test_detects_line_noise(self, clean):
+        t = np.arange(clean.shape[0]) / FS
+        clean[:, 4] = 0.05 * clean[:, 4] + 5.0 * np.sin(2 * np.pi * 50.0 * t)
+        report = assess_channels(clean, FS)
+        assert report.bad[4]
+        assert report.line_noise_ratio[4] > 0.5
+
+    def test_rejects_short_input(self):
+        with pytest.raises(ValueError):
+            assess_channels(np.zeros((2, 3)), FS)
+
+
+class TestIntegrationWithFailures:
+    def test_flags_killed_electrodes(self, mini_recording):
+        degraded = kill_electrodes(mini_recording, [1, 5])
+        report = assess_channels(degraded.data, mini_recording.fs)
+        assert report.bad[1] and report.bad[5]
+
+    def test_flags_hard_saturation(self, mini_recording):
+        degraded = saturate_electrodes(mini_recording, [2], limit=0.3)
+        report = assess_channels(degraded.data, mini_recording.fs)
+        assert report.bad[2]
+
+
+class TestMasking:
+    def test_masked_channels_become_featureless(self, clean):
+        clean[:, 2] = 0.0
+        report = assess_channels(clean, FS)
+        masked = mask_bad_channels(clean, report)
+        # No longer flat, but much quieter than real channels.
+        assert masked[:, 2].std() > 0
+        assert masked[:, 2].std() < 0.5 * masked[:, 0].std()
+
+    def test_good_channels_untouched(self, clean):
+        clean[:, 2] = 0.0
+        report = assess_channels(clean, FS)
+        masked = mask_bad_channels(clean, report)
+        np.testing.assert_array_equal(masked[:, 0], clean[:, 0])
+
+    def test_no_bad_channels_identity(self, clean):
+        report = assess_channels(clean, FS)
+        masked = mask_bad_channels(clean, report)
+        np.testing.assert_array_equal(masked, clean)
+
+    def test_masking_restores_detection(self, fitted_detector, mini_recording):
+        # Flatline half the montage: masking the dead channels with
+        # featureless noise must keep the unseen seizure detectable.
+        dead = list(range(0, 16, 2))
+        degraded = kill_electrodes(mini_recording, dead, from_s=150.0)
+        report = assess_channels(
+            degraded.data[int(160 * 256) :], mini_recording.fs
+        )
+        assert report.n_bad >= len(dead)
+        masked = mask_bad_channels(degraded.data, report)
+        result = fitted_detector.detect(masked)
+        second = mini_recording.seizures[1]
+        assert np.any(
+            (result.alarm_times >= second.onset_s)
+            & (result.alarm_times <= second.offset_s + 5.0)
+        )

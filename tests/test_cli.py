@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.data.cohort import PatientSpec
+
+
+class TestHardwareCommands:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "laelaps" in out and "lstm" in out
+
+    def test_fig3_default_electrodes(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "64 electrodes" in out
+
+    def test_fig3_custom_electrodes(self, capsys):
+        assert main(["fig3", "--electrodes", "32"]) == 0
+        assert "32 electrodes" in capsys.readouterr().out
+
+    def test_scaling(self, capsys):
+        assert main(["scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "scaling" in out.lower()
+        assert "128e" in out
+
+
+class TestTable1Command(object):
+    def test_reduced_run(self, capsys, monkeypatch):
+        # Patch the cohort down to one tiny patient so the CLI path runs
+        # in seconds.
+        import repro.evaluation.table1 as table1_module
+
+        tiny = (
+            PatientSpec("PX", n_electrodes=4, n_seizures=2,
+                        recording_hours=0.05, train_seizures=1, seed=3),
+        )
+        monkeypatch.setattr(
+            table1_module, "cohort_patient_specs", lambda: tiny
+        )
+        code = main([
+            "table1", "--scale", "1", "--methods", "laelaps",
+            "--dim", "1000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PX" in out
+        assert "laelaps" in out
+
+
+class TestArgumentErrors:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["fig9"])
