@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import bench_scale
+from benchmarks.conftest import bench_scale, smoke_mode
 from repro.core.config import LaelapsConfig
 from repro.core.detector import LaelapsDetector
 from repro.core.tuning import tune_dimension
@@ -22,8 +22,13 @@ from repro.evaluation.report import render_table
 from repro.evaluation.runner import finalize_run, run_patient, tune_run_tr
 
 #: A small sample spanning electrode counts (P14 = 24e, P3 = 64e).
-SAMPLE_IDS = ("P3", "P11", "P17")
-CANDIDATES = (10_000, 8_000, 6_000, 4_000, 2_000, 1_000)
+#: Smoke mode keeps one patient and a two-step descent: enough to catch
+#: import/shape rot without paying for the full golden-model sweep.
+SAMPLE_IDS = ("P3",) if smoke_mode() else ("P3", "P11", "P17")
+CANDIDATES = (
+    (2_000, 1_000) if smoke_mode()
+    else (10_000, 8_000, 6_000, 4_000, 2_000, 1_000)
+)
 
 
 def _tune_patient(spec) -> tuple[int, float]:
@@ -65,9 +70,11 @@ def test_dimension_tuning(benchmark):
         title='Table I "d" column (sample): golden-model descent',
     ))
     dims = [dim for dim, _ in chosen.values()]
+    assert all(d <= 10_000 for d in dims)
+    if smoke_mode():
+        return
     # Paper: 14/18 patients shrink below 10 kbit, several to 1 kbit.
     assert min(dims) <= 2_000
-    assert all(d <= 10_000 for d in dims)
     mean_kbit = sum(dims) / len(dims) / 1_000
     print(f"mean chosen d = {mean_kbit:.1f} kbit (paper cohort mean: 4.3)")
     assert mean_kbit == pytest.approx(4.3, abs=4.0)

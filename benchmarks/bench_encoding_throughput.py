@@ -4,6 +4,11 @@ Not a paper artefact per se, but the measurement backing every heavy
 bench in this repo: LBP symbolisation, HD spatial/temporal encoding, and
 associative-memory queries per second of signal.  Useful for sizing
 REPRO_BENCH_SCALE and for regression-tracking the encoder fast path.
+
+The packed variants run the same stages entirely in the uint64 word
+domain (carry-save compressor tree + XOR/popcount), so this file doubles
+as the packed-vs-unpacked backend comparison; ``--smoke`` shrinks every
+size for the CI import-rot job.
 """
 
 from __future__ import annotations
@@ -11,19 +16,28 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from benchmarks.conftest import bench_dim, bench_seconds
 from repro.core.config import LaelapsConfig
 from repro.core.detector import LaelapsDetector
 from repro.hdc.associative import AssociativeMemory
-from repro.hdc.backend import pack_bits, random_bits
+from repro.hdc.backend import (
+    hamming_distance_packed,
+    pack_bits,
+    random_bits,
+)
 from repro.hdc.item_memory import ItemMemory
 from repro.hdc.spatial import SpatialEncoder
+from repro.hdc.spatial_packed import PackedSpatialEncoder
 from repro.hdc.temporal import encode_recording
+from repro.hdc.temporal_packed import encode_recording_packed
+from repro.signal.windows import WindowSpec
 from repro.lbp.codes import lbp_codes_multichannel
 
 FS = 256.0
 N_ELECTRODES = 64
-DIM = 1_000
-SECONDS = 10
+DIM = bench_dim(1_000, smoke=256)
+SECONDS = bench_seconds(10, smoke=2)
+N_QUERIES = bench_dim(2_000, smoke=64)
 
 
 @pytest.fixture(scope="module")
@@ -46,11 +60,19 @@ def test_spatial_temporal_encoding_throughput(benchmark, codes):
     spatial = SpatialEncoder(
         ItemMemory(64, DIM, seed=1), ItemMemory(N_ELECTRODES, DIM, seed=2)
     )
-    from repro.signal.windows import WindowSpec
-
     spec = WindowSpec.from_seconds(1.0, 0.5, FS)
     h = benchmark(lambda: encode_recording(codes, spatial, spec))
     assert h.shape[1] == DIM
+
+
+def test_packed_spatial_temporal_encoding_throughput(benchmark, codes):
+    """Same stage as above but never leaving the packed word domain."""
+    spatial = PackedSpatialEncoder(
+        ItemMemory(64, DIM, seed=1), ItemMemory(N_ELECTRODES, DIM, seed=2)
+    )
+    spec = WindowSpec.from_seconds(1.0, 0.5, FS)
+    h = benchmark(lambda: encode_recording_packed(codes, spatial, spec))
+    assert h.shape[1] == spatial.words
 
 
 def test_am_query_throughput(benchmark):
@@ -58,9 +80,20 @@ def test_am_query_throughput(benchmark):
     generator = np.random.default_rng(3)
     memory.store(0, random_bits(DIM, generator))
     memory.store(1, random_bits(DIM, generator))
-    queries = random_bits((2_000, DIM), generator)
+    queries = random_bits((N_QUERIES, DIM), generator)
     labels, _ = benchmark(lambda: memory.classify(queries))
-    assert labels.shape == (2_000,)
+    assert labels.shape == (N_QUERIES,)
+
+
+def test_am_query_throughput_packed(benchmark):
+    """Batched packed queries: one XOR+popcount sweep, no pack_bits."""
+    memory = AssociativeMemory(DIM)
+    generator = np.random.default_rng(3)
+    memory.store(0, random_bits(DIM, generator))
+    memory.store(1, random_bits(DIM, generator))
+    queries = pack_bits(random_bits((N_QUERIES, DIM), generator))
+    labels, _ = benchmark(lambda: memory.classify_packed(queries))
+    assert labels.shape == (N_QUERIES,)
 
 
 def test_end_to_end_classification_rate(benchmark, signal):
@@ -78,11 +111,22 @@ def test_end_to_end_classification_rate(benchmark, signal):
     assert len(preds) > 0
 
 
+def test_end_to_end_classification_rate_packed(benchmark, signal):
+    """The full pipeline on the packed backend (LBP codes to labels)."""
+    detector = LaelapsDetector(
+        N_ELECTRODES, LaelapsConfig(dim=DIM, fs=FS, seed=1, backend="packed")
+    )
+    generator = np.random.default_rng(4)
+    proto = pack_bits(random_bits((2, DIM), generator))
+    detector.fit_from_windows(proto[0], proto[1])
+    preds = benchmark(lambda: detector.predict(signal))
+    assert len(preds) > 0
+
+
 def test_packed_hamming_throughput(benchmark):
     generator = np.random.default_rng(5)
     a = pack_bits(random_bits((4_096, DIM), generator))
     b = pack_bits(random_bits(DIM, generator))
-    from repro.hdc.backend import hamming_distance_packed
 
     dists = benchmark(lambda: hamming_distance_packed(a, b[None, :]))
     assert dists.shape == (4_096,)

@@ -12,6 +12,17 @@ Every bench *prints* the table rows it reproduces; run with ``-s`` to
 see them, e.g.::
 
     pytest benchmarks/ --benchmark-only -s
+
+CI smoke mode
+-------------
+
+``pytest benchmarks --smoke`` shrinks every bench to an import-rot
+check: the cohort is truncated to two patients, size-aware benches drop
+to tiny dimensions/durations (they read ``REPRO_BENCH_SMOKE``, exported
+here before collection), and ``pytest-benchmark`` timing loops are
+disabled so each benched callable runs exactly once.  The whole
+directory finishes in well under two minutes — this is what the CI
+benchmark job runs.
 """
 
 from __future__ import annotations
@@ -19,6 +30,33 @@ from __future__ import annotations
 import os
 
 import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="shrink all benches to a fast import/shape check (CI mode)",
+    )
+
+
+@pytest.hookimpl(tryfirst=True)
+def pytest_configure(config: pytest.Config) -> None:
+    if not config.getoption("--smoke", default=False):
+        return
+    # Exported before bench modules import, so module-level sizes that
+    # consult smoke_mode()/bench_dim() see the reduced configuration.
+    os.environ["REPRO_BENCH_SMOKE"] = "1"
+    os.environ.setdefault("REPRO_BENCH_PATIENTS", "2")
+    # Run every benched callable exactly once, without timing loops.
+    if hasattr(config.option, "benchmark_disable"):
+        config.option.benchmark_disable = True
+
+
+def smoke_mode() -> bool:
+    """Whether the harness runs in CI smoke (import-rot) mode."""
+    return os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
 
 def bench_scale() -> float:
@@ -29,6 +67,16 @@ def bench_scale() -> float:
 def bench_patients() -> int:
     """Number of cohort patients to include."""
     return int(os.environ.get("REPRO_BENCH_PATIENTS", "18"))
+
+
+def bench_dim(default: int, smoke: int = 256) -> int:
+    """Hypervector dimension for size-aware benches."""
+    return smoke if smoke_mode() else default
+
+
+def bench_seconds(default: float, smoke: float = 2.0) -> float:
+    """Synthetic-signal duration for size-aware benches."""
+    return smoke if smoke_mode() else default
 
 
 @pytest.fixture(scope="session")

@@ -1,11 +1,32 @@
-"""Setuptools shim.
+"""Package metadata for the Laelaps reproduction.
 
-``pip install -e .`` needs the ``wheel`` package for PEP 517 editable
-builds; fully offline environments that lack it can fall back to
-``python setup.py develop``.  All project metadata lives in
-``pyproject.toml``.
+The project targets Python >= 3.10 (PEP 604 unions and dataclass
+features are used throughout).  numpy 2.0 provides the hardware
+popcount (``np.bitwise_count``); older numpy down to the declared floor
+works through the byte-lookup fallback in ``repro.hdc.backend``.
+
+Install with ``pip install -e .`` (needs the ``wheel`` package for
+PEP 517 editable builds); fully offline environments that lack it can
+fall back to ``python setup.py develop``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-laelaps",
+    version="0.2.0",
+    description=(
+        "Reproduction of Laelaps: seizure detection from iEEG with "
+        "local binary patterns and hyperdimensional computing"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+            "repro-laelaps=repro.cli:main",
+        ],
+    },
+)

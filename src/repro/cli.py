@@ -24,7 +24,9 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.evaluation.table1 import default_methods, run_table1
 
     include = tuple(args.methods.split(","))
-    methods = default_methods(dim=args.dim, include=include)
+    methods = default_methods(
+        dim=args.dim, include=include, backend=args.backend
+    )
     start = time.time()
     result = run_table1(
         methods,
@@ -122,6 +124,9 @@ def main(argv: list[str] | None = None) -> int:
     p1.add_argument("--fs", type=float, default=256.0)
     p1.add_argument("--dim", type=int, default=1_000)
     p1.add_argument("--methods", default="laelaps,svm,cnn,lstm")
+    p1.add_argument("--backend", choices=("unpacked", "packed"),
+                    default="unpacked",
+                    help="Laelaps inference backend (bit-exact either way)")
     p1.add_argument("--verbose", action="store_true")
     p1.set_defaults(func=_cmd_table1)
 

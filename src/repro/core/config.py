@@ -17,6 +17,12 @@ GOLDEN_DIM = 10_000
 #: Paper floor for the hypervector dimension.
 MIN_DIM = 1_000
 
+#: Inference backends of the detector: ``"unpacked"`` works on uint8
+#: 0/1 component arrays, ``"packed"`` stays in uint64 words end to end
+#: (the hardware-faithful layout of the paper's GPU kernels).  Both are
+#: bit-exact against each other.
+BACKENDS = ("unpacked", "packed")
+
 
 @dataclass(frozen=True)
 class LaelapsConfig:
@@ -40,6 +46,9 @@ class LaelapsConfig:
             :func:`repro.core.postprocess.tune_tr`.
         seed: Master seed; item-memory seeds are derived from it, so a
             config fully determines the model.
+        backend: ``"unpacked"`` (uint8 component arrays, the library
+            default) or ``"packed"`` (uint64 words end to end); the two
+            backends produce bit-identical labels and confidence scores.
     """
 
     dim: int = GOLDEN_DIM
@@ -51,10 +60,15 @@ class LaelapsConfig:
     tc: int = 10
     tr: float = 0.0
     seed: int = 0x1AE1A95
+    backend: str = "unpacked"
 
     def __post_init__(self) -> None:
         if self.dim < 2:
             raise ValueError(f"dim must be >= 2, got {self.dim}")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
         LBPConfig(length=self.lbp_length)  # validate
         if self.fs <= 0:
             raise ValueError(f"fs must be positive, got {self.fs}")
@@ -104,3 +118,7 @@ class LaelapsConfig:
     def with_tr(self, tr: float) -> "LaelapsConfig":
         """Copy of this config with another confidence threshold."""
         return replace(self, tr=tr)
+
+    def with_backend(self, backend: str) -> "LaelapsConfig":
+        """Copy of this config on another inference backend."""
+        return replace(self, backend=backend)

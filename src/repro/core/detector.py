@@ -28,11 +28,17 @@ from repro.core.training import (
     window_decision_times,
     windows_in_segments,
 )
-from repro.hdc.associative import AssociativeMemory, PrototypeAccumulator
-from repro.hdc.backend import hamming_distance
+from repro.hdc.associative import (
+    AssociativeMemory,
+    PackedPrototypeAccumulator,
+    PrototypeAccumulator,
+)
+from repro.hdc.backend import hamming_distance, packed_words
 from repro.hdc.item_memory import ItemMemory
 from repro.hdc.spatial import SpatialEncoder
+from repro.hdc.spatial_packed import PackedSpatialEncoder
 from repro.hdc.temporal import TemporalEncoder
+from repro.hdc.temporal_packed import PackedTemporalEncoder
 
 
 @dataclass(frozen=True)
@@ -109,7 +115,15 @@ class LaelapsDetector:
         self.electrode_memory = ItemMemory(
             n_electrodes, cfg.dim, cfg.electrode_memory_seed
         )
-        self.spatial = SpatialEncoder(self.code_memory, self.electrode_memory)
+        self.backend = cfg.backend
+        if self.backend == "packed":
+            self.spatial = PackedSpatialEncoder(
+                self.code_memory, self.electrode_memory
+            )
+        else:
+            self.spatial = SpatialEncoder(
+                self.code_memory, self.electrode_memory
+            )
         self.memory = AssociativeMemory(cfg.dim)
         self.tr = cfg.tr
         self.fit_report: FitReport | None = None
@@ -132,12 +146,52 @@ class LaelapsDetector:
             )
         return arr
 
+    def temporal_encoder(self) -> TemporalEncoder | PackedTemporalEncoder:
+        """A fresh streaming window encoder for the active backend."""
+        if self.backend == "packed":
+            return PackedTemporalEncoder(self.spatial, self.config.window_spec)
+        return TemporalEncoder(self.spatial, self.config.window_spec)
+
     def encode(self, signal: np.ndarray) -> np.ndarray:
-        """Encode a recording into H vectors, ``(n_windows, d)`` uint8."""
+        """Encode a recording into backend-native H vectors.
+
+        Returns ``(n_windows, d)`` uint8 on the unpacked backend and
+        ``(n_windows, packed_words(d))`` uint64 on the packed backend;
+        either form is accepted by :meth:`predict_from_windows`.
+        """
         arr = self._validate_signal(signal)
         codes = self.symbolizer.codes(arr)
-        encoder = TemporalEncoder(self.spatial, self.config.window_spec)
-        return encoder.encode_all(codes)
+        return self.temporal_encoder().encode_all(codes)
+
+    def _windows_2d(self, h: np.ndarray) -> np.ndarray:
+        """Validate H vectors in either form, returning a 2-D array.
+
+        Dispatch is by trailing width: ``d`` columns means unpacked,
+        ``packed_words(d)`` columns means packed (the two can never
+        coincide for ``d >= 2``).
+        """
+        arr = np.atleast_2d(np.asarray(h))
+        dim = self.config.dim
+        if arr.ndim != 2 or arr.shape[1] not in (dim, packed_words(dim)):
+            raise ValueError(
+                f"H vectors must have {dim} (unpacked) or "
+                f"{packed_words(dim)} (packed) columns, got shape {arr.shape}"
+            )
+        if arr.shape[1] == dim:
+            return arr.astype(np.uint8, copy=False)
+        return arr.astype(np.uint64, copy=False)
+
+    @staticmethod
+    def _is_packed_windows(arr: np.ndarray) -> bool:
+        return arr.dtype == np.uint64
+
+    def _classify_windows(
+        self, arr: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched nearest-prototype sweep for either window form."""
+        if self._is_packed_windows(arr):
+            return self.memory.classify_packed(arr)
+        return self.memory.classify(arr)
 
     def window_times(self, n_windows: int) -> np.ndarray:
         """Decision times (s) for ``n_windows`` windows of a recording."""
@@ -160,14 +214,25 @@ class LaelapsDetector:
     def fit_from_windows(
         self, ictal_h: np.ndarray, interictal_h: np.ndarray
     ) -> "LaelapsDetector":
-        """Train the associative memory from already-encoded H vectors."""
-        ictal_arr = np.atleast_2d(np.asarray(ictal_h, dtype=np.uint8))
-        inter_arr = np.atleast_2d(np.asarray(interictal_h, dtype=np.uint8))
+        """Train the associative memory from already-encoded H vectors.
+
+        Accepts windows in either form (unpacked uint8 ``(k, d)`` or
+        packed uint64 ``(k, words)``), matching whatever
+        :meth:`encode` produced.
+        """
+        ictal_arr = self._windows_2d(ictal_h)
+        inter_arr = self._windows_2d(interictal_h)
         if ictal_arr.shape[0] == 0 or inter_arr.shape[0] == 0:
             raise ValueError("both classes need at least one H vector")
-        self.memory.train(INTERICTAL, inter_arr)
-        self.memory.train(ICTAL, ictal_arr)
-        _, distances = self.memory.classify(ictal_arr)
+        if self._is_packed_windows(inter_arr):
+            self.memory.train_packed(INTERICTAL, inter_arr)
+        else:
+            self.memory.train(INTERICTAL, inter_arr)
+        if self._is_packed_windows(ictal_arr):
+            self.memory.train_packed(ICTAL, ictal_arr)
+        else:
+            self.memory.train(ICTAL, ictal_arr)
+        _, distances = self._classify_windows(ictal_arr)
         report = FitReport(
             n_ictal_windows=ictal_arr.shape[0],
             n_interictal_windows=inter_arr.shape[0],
@@ -201,7 +266,12 @@ class LaelapsDetector:
         """
         arr = self._validate_signal(signal)
         margin = self.symbolizer.margin
-        ictal_acc = PrototypeAccumulator(self.config.dim)
+        packed = self.backend == "packed"
+        accumulator = (
+            PackedPrototypeAccumulator if packed else PrototypeAccumulator
+        )
+        store = self.memory.store_packed if packed else self.memory.store
+        ictal_acc = accumulator(self.config.dim)
         for segment in segments.ictal:
             sl = segment_slice(segment, self.config.fs, arr.shape[0], margin)
             h = self.encode(arr[sl])
@@ -216,16 +286,15 @@ class LaelapsDetector:
         inter_h = self.encode(arr[inter_sl])
         if inter_h.shape[0] == 0:
             raise ValueError("interictal segment too short for one window")
-        self.memory.store(INTERICTAL, PrototypeAccumulator(self.config.dim)
-                          .add(inter_h).finalize())
-        self.memory.store(ICTAL, ictal_acc.finalize())
+        store(INTERICTAL, accumulator(self.config.dim).add(inter_h).finalize())
+        store(ICTAL, ictal_acc.finalize())
         # Re-derive the fit report against the final prototypes.
         ictal_h = [
             self.encode(arr[segment_slice(s, self.config.fs, arr.shape[0], margin)])
             for s in segments.ictal
         ]
         all_ictal = np.concatenate(ictal_h, axis=0)
-        _, distances = self.memory.classify(all_ictal)
+        _, distances = self._classify_windows(all_ictal)
         self.fit_report = FitReport(
             n_ictal_windows=int(all_ictal.shape[0]),
             n_interictal_windows=int(inter_h.shape[0]),
@@ -253,10 +322,16 @@ class LaelapsDetector:
         return self.predict_from_windows(h)
 
     def predict_from_windows(self, h: np.ndarray) -> WindowPredictions:
-        """Classify already-encoded H vectors."""
+        """Classify already-encoded H vectors in one batched sweep.
+
+        Accepts unpacked ``(n, d)`` uint8 or packed ``(n, words)``
+        uint64 windows; the whole batch is scored against both
+        prototypes in a single vectorized Hamming query, never one
+        window at a time.
+        """
         if not self.is_fitted:
             raise RuntimeError("detector must be fitted before predicting")
-        h_arr = np.atleast_2d(np.asarray(h, dtype=np.uint8))
+        h_arr = np.atleast_2d(np.asarray(h))
         if h_arr.shape[0] == 0:
             empty = np.zeros(0)
             return WindowPredictions(
@@ -265,7 +340,7 @@ class LaelapsDetector:
                 deltas=empty,
                 times=empty,
             )
-        labels, distances = self.memory.classify(h_arr)
+        labels, distances = self._classify_windows(self._windows_2d(h_arr))
         return WindowPredictions(
             labels=labels,
             distances=distances,

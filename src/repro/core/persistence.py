@@ -6,6 +6,12 @@ configuration need storing (a few kilobytes, matching the paper's
 point that the whole model fits comfortably in on-chip memory).
 ``save_model``/``load_model`` round-trip a fitted detector through a
 single ``.npz`` file; the reloaded detector is bit-exact.
+
+The inference backend travels inside the persisted config: a model
+saved from a ``backend="packed"`` detector reloads as a packed
+detector (prototypes are serialised in the unpacked inspection form
+either way — the packed words are re-derived on load, and the two
+backends are bit-exact, so older unpacked archives load unchanged).
 """
 
 from __future__ import annotations

@@ -17,8 +17,6 @@ import numpy as np
 
 from repro.core.config import ICTAL
 from repro.core.detector import LaelapsDetector
-from repro.core.postprocess import delta_scores
-from repro.hdc.temporal import TemporalEncoder
 from repro.lbp.codes import lbp_codes_multichannel
 
 
@@ -47,7 +45,10 @@ class StreamingLaelaps:
         detector: A fitted detector (prototypes stored, t_r set).
 
     Push raw sample chunks with :meth:`push`; each call returns the
-    stream events whose windows completed inside that chunk.
+    stream events whose windows completed inside that chunk.  The
+    stream runs on whichever backend the detector was configured with —
+    on ``"packed"`` the H vectors never leave the word domain between
+    the encoder and the associative memory.
     """
 
     def __init__(self, detector: LaelapsDetector) -> None:
@@ -62,7 +63,7 @@ class StreamingLaelaps:
             )
         self.detector = detector
         cfg = detector.config
-        self._encoder = TemporalEncoder(detector.spatial, cfg.window_spec)
+        self._encoder = detector.temporal_encoder()
         self._raw_tail = np.zeros((0, detector.n_electrodes), dtype=np.float64)
         self._labels: deque[int] = deque(maxlen=cfg.postprocess_len)
         self._deltas: deque[float] = deque(maxlen=cfg.postprocess_len)

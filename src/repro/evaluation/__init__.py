@@ -29,6 +29,7 @@ from repro.evaluation.runner import (
     PatientRun,
     evaluate_detector,
     finalize_run,
+    predict_windows,
     run_patient,
 )
 from repro.evaluation.table1 import (
@@ -53,6 +54,7 @@ __all__ = [
     "zero_fdr_plateau",
     "PatientRun",
     "PatientResult",
+    "predict_windows",
     "run_patient",
     "finalize_run",
     "evaluate_detector",

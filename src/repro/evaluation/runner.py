@@ -40,6 +40,25 @@ class SupportsDetection(Protocol):
 DetectorFactory = Callable[[int, float], SupportsDetection]
 
 
+def predict_windows(
+    detector: SupportsDetection, signal: np.ndarray
+) -> WindowPredictions:
+    """Score a whole recording in one batched sweep.
+
+    Detectors exposing the encode/``predict_from_windows`` split (the
+    Laelaps pipeline on either backend) are driven through it: the
+    recording is encoded once into its full ``(n_windows, ...)`` window
+    block and classified by a single vectorized Hamming query instead
+    of any per-window loop.  Baselines without the split fall back to
+    their own ``predict``.
+    """
+    encode = getattr(detector, "encode", None)
+    from_windows = getattr(detector, "predict_from_windows", None)
+    if encode is None or from_windows is None:
+        return detector.predict(signal)
+    return from_windows(encode(signal))
+
+
 @dataclass
 class PatientRun:
     """Raw predictions of one detector on one patient.
@@ -119,8 +138,8 @@ def run_patient(
 
     detector = factory(patient.n_electrodes, recording.fs)
     detector.fit(train_rec.data, split.training_segments)
-    train_preds = detector.predict(train_rec.data)
-    test_preds = detector.predict(test_rec.data)
+    train_preds = predict_windows(detector, train_rec.data)
+    test_preds = predict_windows(detector, test_rec.data)
 
     window_s = detector.window_s
     # A window with decision time t spans [t - window_s, t]; it overlaps a
@@ -216,7 +235,7 @@ def evaluate_detector(
     the detector's (or an explicit) t_r, and computes metrics against the
     recording's own annotations.
     """
-    preds = detector.predict(recording.data)
+    preds = predict_windows(detector, recording.data)
     threshold = tr if tr is not None else float(getattr(detector, "tr", 0.0))
     flags = alarm_flags(
         preds.labels, preds.deltas, postprocess_len, tc, threshold

@@ -62,6 +62,7 @@ def default_methods(
     dim: int = 1_000,
     seed: int = 0,
     include: Sequence[str] = (LAELAPS, "svm", "cnn", "lstm"),
+    backend: str = "unpacked",
 ) -> list[MethodSpec]:
     """The paper's four methods with sensible reproduction settings.
 
@@ -71,6 +72,9 @@ def default_methods(
             is the paper's own minimum).
         seed: Master seed shared by all stochastic models.
         include: Subset of method names to build.
+        backend: Laelaps inference backend (``"unpacked"`` or
+            ``"packed"``); the baselines are unaffected.  The two
+            backends give bit-identical Table I rows.
     """
     from repro.baselines.cnn import StftCnnDetector
     from repro.baselines.lstm import LstmDetector
@@ -79,7 +83,7 @@ def default_methods(
     from repro.core.detector import LaelapsDetector
 
     def laelaps_factory(n_electrodes: int, fs: float):
-        config = LaelapsConfig(dim=dim, fs=fs, seed=seed + 1)
+        config = LaelapsConfig(dim=dim, fs=fs, seed=seed + 1, backend=backend)
         return LaelapsDetector(n_electrodes, config)
 
     def svm_factory(n_electrodes: int, fs: float):

@@ -17,16 +17,28 @@ vectors; ``repro.hdc.spatial``/``repro.hdc.temporal`` implement the Fig. 1
 encoder; ``repro.hdc.associative`` is the two-prototype associative memory.
 """
 
-from repro.hdc.associative import AssociativeMemory, PrototypeAccumulator
+from repro.hdc.associative import (
+    AssociativeMemory,
+    PackedPrototypeAccumulator,
+    PrototypeAccumulator,
+)
 from repro.hdc.backend import (
     hamming_distance,
     hamming_distance_packed,
     pack_bits,
     packed_words,
+    permute_packed,
+    popcount_words,
     random_bits,
     unpack_bits,
 )
-from repro.hdc.bitsliced import BitslicedCounter
+from repro.hdc.bitsliced import (
+    BitslicedCounter,
+    bitsliced_counts,
+    planes_add,
+    planes_greater_than,
+    planes_to_counts,
+)
 from repro.hdc.item_memory import ItemMemory, bound_table
 from repro.hdc.ops import (
     BundleAccumulator,
@@ -39,14 +51,24 @@ from repro.hdc.ops import (
 from repro.hdc.spatial import SpatialEncoder
 from repro.hdc.spatial_packed import PackedSpatialEncoder
 from repro.hdc.temporal import TemporalEncoder, encode_recording
+from repro.hdc.temporal_packed import (
+    PackedTemporalEncoder,
+    encode_recording_packed,
+)
 
 __all__ = [
     "pack_bits",
     "unpack_bits",
     "packed_words",
+    "permute_packed",
+    "popcount_words",
     "random_bits",
     "hamming_distance",
     "hamming_distance_packed",
+    "bitsliced_counts",
+    "planes_add",
+    "planes_greater_than",
+    "planes_to_counts",
     "bind",
     "bundle",
     "permute",
@@ -60,6 +82,9 @@ __all__ = [
     "BitslicedCounter",
     "TemporalEncoder",
     "encode_recording",
+    "PackedTemporalEncoder",
+    "encode_recording_packed",
     "AssociativeMemory",
     "PrototypeAccumulator",
+    "PackedPrototypeAccumulator",
 ]

@@ -12,7 +12,18 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.hdc.backend import hamming_distance_packed, pack_bits
+from repro.hdc.backend import (
+    WORD_BITS,
+    hamming_distance_packed,
+    pack_bits,
+    packed_words,
+    unpack_bits,
+)
+from repro.hdc.bitsliced import (
+    bitsliced_counts,
+    planes_add,
+    planes_greater_than,
+)
 from repro.hdc.ops import BundleAccumulator
 
 
@@ -40,6 +51,57 @@ class PrototypeAccumulator:
     def finalize(self) -> np.ndarray:
         """Produce the majority-thresholded prototype, uint8 ``(d,)``."""
         return self._bundle.finalize()
+
+
+class PackedPrototypeAccumulator:
+    """Streaming trainer for one class prototype, packed end to end.
+
+    The packed twin of :class:`PrototypeAccumulator`: H vectors arrive
+    as uint64 words, per-batch counts come from the carry-save
+    compressor tree, batches combine through the packed ripple adder,
+    and the final majority is the bitwise magnitude comparator — the
+    prototype never exists in unpacked form and is bit-exact against
+    the integer-counter path.
+    """
+
+    def __init__(self, dim: int) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self.dim = dim
+        self.words = packed_words(dim)
+        self._planes: np.ndarray | None = None
+        self._n = 0
+
+    @property
+    def n_vectors(self) -> int:
+        """Number of H vectors accumulated."""
+        return self._n
+
+    def add(self, h_vectors: np.ndarray) -> "PackedPrototypeAccumulator":
+        """Accumulate one ``(words,)`` vector or a ``(k, words)`` batch."""
+        arr = np.asarray(h_vectors, dtype=np.uint64)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        if arr.ndim != 2 or arr.shape[1] != self.words:
+            raise ValueError(
+                f"expected (k, {self.words}) packed batch, got {arr.shape}"
+            )
+        if arr.shape[0] == 0:
+            return self
+        planes = bitsliced_counts(arr)
+        self._planes = (
+            planes
+            if self._planes is None
+            else planes_add(self._planes, planes)
+        )
+        self._n += arr.shape[0]
+        return self
+
+    def finalize(self) -> np.ndarray:
+        """Produce the majority-thresholded prototype, uint64 ``(words,)``."""
+        if self._planes is None:
+            raise ValueError("cannot finalize an empty bundle")
+        return planes_greater_than(self._planes, self._n // 2)
 
 
 class AssociativeMemory:
@@ -70,13 +132,26 @@ class AssociativeMemory:
         """Number of stored prototypes."""
         return len(self._labels)
 
-    def prototype(self, label: int) -> np.ndarray:
-        """The stored prototype for ``label`` (uint8 copy)."""
+    @property
+    def words(self) -> int:
+        """Packed word count per prototype/query."""
+        return packed_words(self.dim)
+
+    def _index(self, label: int) -> int:
         try:
-            idx = self._labels.index(label)
+            return self._labels.index(label)
         except ValueError:
             raise KeyError(f"no prototype stored for label {label}") from None
-        return self._prototypes[idx].copy()
+
+    def prototype(self, label: int) -> np.ndarray:
+        """The stored prototype for ``label`` (uint8 copy)."""
+        return self._prototypes[self._index(label)].copy()
+
+    def prototype_packed(self, label: int) -> np.ndarray:
+        """The stored prototype for ``label``, packed uint64 copy."""
+        if self._packed is None:
+            raise KeyError(f"no prototype stored for label {label}")
+        return self._packed[self._index(label)].copy()
 
     def store(self, label: int, prototype: np.ndarray) -> None:
         """Insert or replace the prototype of class ``label``."""
@@ -94,11 +169,34 @@ class AssociativeMemory:
             self._prototypes.append(arr.copy())
         self._packed = pack_bits(np.stack(self._prototypes))
 
+    def store_packed(self, label: int, prototype: np.ndarray) -> None:
+        """Insert or replace the prototype of ``label`` from packed words.
+
+        The unpacked inspection copy is derived from the words, so the
+        packed form remains the source of truth for queries.
+        """
+        arr = np.asarray(prototype, dtype=np.uint64)
+        if arr.shape != (self.words,):
+            raise ValueError(
+                f"packed prototype must have shape ({self.words},), "
+                f"got {arr.shape}"
+            )
+        tail = self.dim - (self.words - 1) * WORD_BITS
+        if tail < WORD_BITS and int(arr[-1] >> np.uint64(tail)):
+            raise ValueError("padding bits beyond dim must be zero")
+        self.store(label, unpack_bits(arr, self.dim))
+
     def train(self, label: int, h_vectors: np.ndarray) -> None:
         """Bundle a batch of H vectors into the prototype of ``label``."""
         acc = PrototypeAccumulator(self.dim)
         acc.add(h_vectors)
         self.store(label, acc.finalize())
+
+    def train_packed(self, label: int, h_vectors: np.ndarray) -> None:
+        """Bundle packed H vectors into the prototype of ``label``."""
+        acc = PackedPrototypeAccumulator(self.dim)
+        acc.add(h_vectors)
+        self.store_packed(label, acc.finalize())
 
     def distances(self, h_vectors: np.ndarray) -> np.ndarray:
         """Hamming distances from queries to every prototype.
@@ -124,6 +222,44 @@ class AssociativeMemory:
         )
         return dists[0] if single else dists
 
+    def distances_packed(self, h_vectors: np.ndarray) -> np.ndarray:
+        """Hamming distances from packed queries to every prototype.
+
+        The batched query kernel of the packed backend: one XOR +
+        popcount sweep over the whole ``(n_windows, words)`` block
+        against all prototypes at once, no per-window Python loop and no
+        unpacking.
+
+        Args:
+            h_vectors: One ``(words,)`` packed query or a batch
+                ``(n, words)``.
+
+        Returns:
+            int64 array shaped like :meth:`distances`.
+        """
+        if self._packed is None:
+            raise RuntimeError("associative memory has no prototypes")
+        arr = np.asarray(h_vectors, dtype=np.uint64)
+        single = arr.ndim == 1
+        if single:
+            arr = arr[None, :]
+        if arr.shape[-1] != self.words:
+            raise ValueError(
+                f"packed queries must have {self.words} words, "
+                f"got {arr.shape[-1]}"
+            )
+        dists = hamming_distance_packed(
+            arr[:, None, :], self._packed[None, :, :]
+        )
+        return dists[0] if single else dists
+
+    def _labels_from_distances(
+        self, dists: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        label_arr = np.asarray(self._labels, dtype=np.int64)
+        idx = np.argmin(dists, axis=-1)
+        return label_arr[idx], dists
+
     def classify(self, h_vectors: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Nearest-prototype labels and the full distance matrix.
 
@@ -133,7 +269,10 @@ class AssociativeMemory:
             interictal when stored first — the conservative choice for a
             detector) and ``distances`` is as in :meth:`distances`.
         """
-        dists = self.distances(h_vectors)
-        label_arr = np.asarray(self._labels, dtype=np.int64)
-        idx = np.argmin(dists, axis=-1)
-        return label_arr[idx], dists
+        return self._labels_from_distances(self.distances(h_vectors))
+
+    def classify_packed(
+        self, h_vectors: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`classify` for packed queries (same tie-breaking)."""
+        return self._labels_from_distances(self.distances_packed(h_vectors))

@@ -22,17 +22,25 @@ from repro.hdc.spatial import SpatialEncoder
 from repro.signal.windows import WindowSpec
 
 
-class TemporalEncoder:
-    """Streaming window bundler over spatial records.
+class WindowBundler:
+    """Streaming scaffold shared by both temporal-encoder backends.
+
+    Buffers per-sample codes across ``feed`` calls, tiles them into
+    exact 0.5 s blocks, and hands each full block to the backend hook
+    ``_consume_block``.  Subclasses own the per-block state (integer
+    counters or bit-sliced planes) and the output representation —
+    keeping the chunk-boundary bookkeeping in one place is what makes
+    the two backends provably equivalent under arbitrary chunking.
 
     Args:
-        spatial: The spatial encoder producing per-sample records.
+        spatial: The spatial encoder producing per-sample records; must
+            expose ``dim`` and ``n_electrodes``.
         spec: Window geometry in samples; ``window_samples`` must be an
             integer multiple of ``step_samples`` (the paper uses 512/256)
             so windows tile exactly into blocks.
     """
 
-    def __init__(self, spatial: SpatialEncoder, spec: WindowSpec) -> None:
+    def __init__(self, spatial, spec: WindowSpec) -> None:
         if spec.window_samples % spec.step_samples != 0:
             raise ValueError(
                 "window must be an integer multiple of the step, got "
@@ -43,21 +51,24 @@ class TemporalEncoder:
         self.blocks_per_window = spec.window_samples // spec.step_samples
         self.dim = spatial.dim
         self._pending = np.zeros((0, spatial.n_electrodes), dtype=np.int64)
-        self._block_sums: deque[np.ndarray] = deque(maxlen=self.blocks_per_window)
+        self._reset_blocks()
 
     def reset(self) -> None:
-        """Drop buffered samples and block sums (start of a new record)."""
+        """Drop buffered samples and block state (start of a new record)."""
         self._pending = np.zeros((0, self.spatial.n_electrodes), dtype=np.int64)
-        self._block_sums.clear()
+        self._reset_blocks()
+
+    def _reset_blocks(self) -> None:
+        """(Re)initialise the per-block accumulation state."""
+        raise NotImplementedError
 
     def _consume_block(self, block_codes: np.ndarray) -> np.ndarray | None:
         """Encode one full block; return an H vector once enough blocks exist."""
-        s_bits = self.spatial.encode(block_codes)
-        self._block_sums.append(s_bits.sum(axis=0, dtype=np.int32))
-        if len(self._block_sums) < self.blocks_per_window:
-            return None
-        window_counts = np.sum(self._block_sums, axis=0)
-        return majority_from_counts(window_counts, self.spec.window_samples)
+        raise NotImplementedError
+
+    def _empty_windows(self) -> np.ndarray:
+        """A zero-window output array in the backend's representation."""
+        raise NotImplementedError
 
     def feed(self, codes: np.ndarray) -> np.ndarray:
         """Push a chunk of per-sample codes; return completed H vectors.
@@ -67,8 +78,8 @@ class TemporalEncoder:
                 size; samples are buffered across calls.
 
         Returns:
-            uint8 array ``(n_new_windows, d)`` of H vectors completed by
-            this chunk (possibly empty).
+            Array ``(n_new_windows, ...)`` of H vectors completed by this
+            chunk (possibly empty), in the backend's representation.
         """
         arr = np.asarray(codes)
         if arr.ndim != 2 or arr.shape[1] != self.spatial.n_electrodes:
@@ -88,7 +99,7 @@ class TemporalEncoder:
             offset += step
         self._pending = arr[offset:].copy()
         if not outputs:
-            return np.zeros((0, self.dim), dtype=np.uint8)
+            return self._empty_windows()
         return np.stack(outputs)
 
     def encode_all(self, codes: np.ndarray) -> np.ndarray:
@@ -99,6 +110,33 @@ class TemporalEncoder:
         """
         self.reset()
         return self.feed(codes)
+
+
+class TemporalEncoder(WindowBundler):
+    """Streaming window bundler over spatial records.
+
+    Args:
+        spatial: The spatial encoder producing per-sample records.
+        spec: Window geometry in samples (window a multiple of the step).
+    """
+
+    spatial: SpatialEncoder
+
+    def _reset_blocks(self) -> None:
+        self._block_sums: deque[np.ndarray] = deque(
+            maxlen=self.blocks_per_window
+        )
+
+    def _consume_block(self, block_codes: np.ndarray) -> np.ndarray | None:
+        s_bits = self.spatial.encode(block_codes)
+        self._block_sums.append(s_bits.sum(axis=0, dtype=np.int32))
+        if len(self._block_sums) < self.blocks_per_window:
+            return None
+        window_counts = np.sum(self._block_sums, axis=0)
+        return majority_from_counts(window_counts, self.spec.window_samples)
+
+    def _empty_windows(self) -> np.ndarray:
+        return np.zeros((0, self.dim), dtype=np.uint8)
 
 
 def encode_recording(

@@ -70,6 +70,18 @@ class TestDerivedSeedsAndCopies:
         cfg = LaelapsConfig().with_tr(55.0)
         assert cfg.tr == 55.0
 
+    def test_with_backend(self):
+        cfg = LaelapsConfig().with_backend("packed")
+        assert cfg.backend == "packed"
+        assert cfg.dim == LaelapsConfig().dim
+
+    def test_default_backend_unpacked(self):
+        assert LaelapsConfig().backend == "unpacked"
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            LaelapsConfig(backend="simd")
+
     def test_frozen(self):
         with pytest.raises(Exception):
             LaelapsConfig().dim = 5  # type: ignore[misc]

@@ -3,8 +3,17 @@
 import numpy as np
 import pytest
 
-from repro.hdc.associative import AssociativeMemory, PrototypeAccumulator
-from repro.hdc.backend import hamming_distance, random_bits
+from repro.hdc.associative import (
+    AssociativeMemory,
+    PackedPrototypeAccumulator,
+    PrototypeAccumulator,
+)
+from repro.hdc.backend import (
+    hamming_distance,
+    pack_bits,
+    random_bits,
+    unpack_bits,
+)
 
 
 class TestPrototypeAccumulator:
@@ -102,3 +111,76 @@ class TestAssociativeMemory:
     def test_non_binary_prototype_raises(self):
         with pytest.raises(ValueError):
             AssociativeMemory(4).store(0, np.array([0, 1, 2, 1], dtype=np.uint8))
+
+
+class TestPackedApi:
+    def test_single_packed_vector_prototype_is_vector(self, rng):
+        v = pack_bits(random_bits(100, rng))
+        acc = PackedPrototypeAccumulator(100).add(v)
+        np.testing.assert_array_equal(acc.finalize(), v)
+        assert acc.n_vectors == 1
+
+    def test_store_packed_round_trips(self, rng):
+        memory = AssociativeMemory(100)
+        p = random_bits(100, rng)
+        memory.store_packed(0, pack_bits(p))
+        np.testing.assert_array_equal(memory.prototype(0), p)
+        np.testing.assert_array_equal(memory.prototype_packed(0), pack_bits(p))
+
+    def test_store_packed_rejects_dirty_padding(self):
+        memory = AssociativeMemory(100)
+        dirty = np.zeros(2, dtype=np.uint64)
+        dirty[-1] = np.uint64(1) << np.uint64(63)  # bit 127 > dim 100
+        with pytest.raises(ValueError):
+            memory.store_packed(0, dirty)
+
+    def test_store_packed_rejects_wrong_words(self):
+        with pytest.raises(ValueError):
+            AssociativeMemory(100).store_packed(0, np.zeros(3, dtype=np.uint64))
+
+    def test_classify_packed_matches_unpacked(self, rng):
+        memory = AssociativeMemory(300)
+        p0, p1 = random_bits((2, 300), rng)
+        memory.store(0, p0)
+        memory.store(1, p1)
+        queries = random_bits((17, 300), rng)
+        labels_u, dists_u = memory.classify(queries)
+        labels_p, dists_p = memory.classify_packed(pack_bits(queries))
+        np.testing.assert_array_equal(labels_p, labels_u)
+        np.testing.assert_array_equal(dists_p, dists_u)
+
+    def test_train_packed_matches_train(self, rng):
+        h = random_bits((9, 130), rng)
+        unpacked_memory = AssociativeMemory(130)
+        unpacked_memory.train(0, h)
+        packed_memory = AssociativeMemory(130)
+        packed_memory.train_packed(0, pack_bits(h))
+        np.testing.assert_array_equal(
+            packed_memory.prototype(0), unpacked_memory.prototype(0)
+        )
+
+    def test_packed_query_without_prototypes_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            AssociativeMemory(64).distances_packed(
+                pack_bits(random_bits(64, rng))
+            )
+
+    def test_packed_query_wrong_words_raises(self):
+        memory = AssociativeMemory(64)
+        memory.store(0, np.zeros(64, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            memory.distances_packed(np.zeros((2, 3), dtype=np.uint64))
+
+    def test_accumulator_streaming_batches(self, rng):
+        vectors = random_bits((10, 77), rng)
+        packed = pack_bits(vectors)
+        acc = PackedPrototypeAccumulator(77)
+        acc.add(packed[:4]).add(packed[4:])
+        expected = PrototypeAccumulator(77).add(vectors).finalize()
+        np.testing.assert_array_equal(
+            unpack_bits(acc.finalize(), 77), expected
+        )
+
+    def test_empty_accumulator_raises(self):
+        with pytest.raises(ValueError):
+            PackedPrototypeAccumulator(32).finalize()
