@@ -1,0 +1,148 @@
+"""Multi-patient stream serving: batched sweep vs per-stream loop.
+
+The :class:`~repro.core.sessions.StreamSessionManager` serves N
+concurrent patient streams and classifies the H vectors of *all*
+sessions per tick in one grouped XOR + popcount sweep instead of one
+tiny query per stream.  This bench measures both layers of that claim:
+
+* the classification stage alone, in the real-time serving shape (one
+  window per session per 0.5 s tick): the grouped cross-session sweep
+  against a per-session ``classify_packed`` loop — asserted to be at
+  least 3x faster;
+* the end-to-end engine: ``StreamSessionManager.run`` against driving
+  each ``StreamingLaelaps`` alone, bit-exactness of every event checked
+  on the way (encoding dominates here, so the end-to-end speedup is
+  reported rather than asserted).
+
+Run directly with ``pytest benchmarks/bench_stream_sessions.py -s``;
+``--smoke`` shrinks the sizes for the CI import-rot job.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import bench_dim, bench_seconds, smoke_mode
+from repro.core.config import GOLDEN_DIM, LaelapsConfig
+from repro.core.detector import LaelapsDetector
+from repro.core.sessions import StreamSessionManager
+from repro.core.streaming import StreamingLaelaps
+from repro.hdc.associative import AssociativeMemory, grouped_classify_packed
+from repro.hdc.backend import pack_bits, random_bits
+
+DIM = bench_dim(GOLDEN_DIM, smoke=512)
+N_SESSIONS = 4 if smoke_mode() else 16
+N_TICKS = 16 if smoke_mode() else 256
+FS = 256.0
+N_ELECTRODES = 12
+#: Acceptance floor for the grouped sweep vs the per-session loop.
+MIN_SPEEDUP = 3.0
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_grouped_sweep_beats_per_session_loop():
+    """Classification stage, serving shape: N sessions x 1 window/tick."""
+    rng = np.random.default_rng(0)
+    memories = []
+    for _ in range(N_SESSIONS):
+        memory = AssociativeMemory(DIM)
+        memory.store(0, random_bits(DIM, rng))
+        memory.store(1, random_bits(DIM, rng))
+        memories.append(memory)
+    # One packed H vector per session per tick.
+    queries = pack_bits(random_bits((N_TICKS, N_SESSIONS, DIM), rng))
+    stack = np.stack([m.packed_block()[0] for m in memories])
+    table = np.stack([m.packed_block()[1] for m in memories])
+    owners = np.arange(N_SESSIONS, dtype=np.intp)
+
+    def per_session_loop():
+        labels = np.empty((N_TICKS, N_SESSIONS), dtype=np.int64)
+        for t in range(N_TICKS):
+            for s, memory in enumerate(memories):
+                labels[t, s], _ = memory.classify_packed(queries[t, s])
+        return labels
+
+    def grouped_sweep():
+        labels = np.empty((N_TICKS, N_SESSIONS), dtype=np.int64)
+        for t in range(N_TICKS):
+            labels[t], _ = grouped_classify_packed(
+                queries[t], stack, owners, table
+            )
+        return labels
+
+    np.testing.assert_array_equal(per_session_loop(), grouped_sweep())
+    repeats = 1 if smoke_mode() else 3
+    loop_s = _best_of(repeats, per_session_loop)
+    grouped_s = _best_of(repeats, grouped_sweep)
+    speedup = loop_s / grouped_s
+    print(
+        f"\n[stream sessions] d={DIM}, {N_SESSIONS} sessions x "
+        f"{N_TICKS} ticks: per-session loop {loop_s * 1e3:.1f} ms, "
+        f"grouped sweep {grouped_s * 1e3:.1f} ms ({speedup:.1f}x)"
+    )
+    if not smoke_mode():
+        assert speedup >= MIN_SPEEDUP, (
+            f"grouped cross-session sweep only {speedup:.1f}x faster than "
+            f"the per-session loop (floor {MIN_SPEEDUP}x)"
+        )
+
+
+def test_manager_end_to_end_matches_and_reports():
+    """Whole engine: manager vs per-stream loop, bit-exact, timed."""
+    seconds = bench_seconds(20.0, smoke=3.0)
+    n_sessions = 3 if smoke_mode() else 8
+    rng = np.random.default_rng(1)
+    detectors = {}
+    signals = {}
+    for i in range(n_sessions):
+        config = LaelapsConfig(
+            dim=DIM, fs=FS, seed=5 + i, backend="packed", tc=6
+        )
+        detector = LaelapsDetector(N_ELECTRODES, config)
+        detector.fit_from_windows(
+            pack_bits(random_bits(DIM, rng)), pack_bits(random_bits(DIM, rng))
+        )
+        detectors[f"p{i}"] = detector
+        signals[f"p{i}"] = rng.standard_normal(
+            (int(seconds * FS), N_ELECTRODES)
+        )
+    chunk = int(FS // 2)  # one 0.5 s block per tick: the real-time shape
+
+    def per_stream():
+        return {
+            sid: StreamingLaelaps(det).run(signals[sid], chunk)
+            for sid, det in detectors.items()
+        }
+
+    def batched():
+        manager = StreamSessionManager()
+        for sid, det in detectors.items():
+            manager.open(sid, det)
+        return manager.run(signals, chunk)
+
+    reference = per_stream()
+    events = batched()
+    for sid in detectors:
+        assert events[sid] == reference[sid]
+    repeats = 1 if smoke_mode() else 3
+    loop_s = _best_of(repeats, per_stream)
+    batched_s = _best_of(repeats, batched)
+    n_windows = sum(len(v) for v in reference.values())
+    print(
+        f"\n[stream sessions e2e] d={DIM}, {n_sessions} patients, "
+        f"{seconds:.0f} s each ({n_windows} windows): per-stream "
+        f"{loop_s:.2f} s, batched manager {batched_s:.2f} s "
+        f"({loop_s / batched_s:.2f}x, "
+        f"{n_windows / batched_s:,.0f} windows/s)"
+    )
+    assert n_windows > 0

@@ -10,13 +10,21 @@ with the t_c / t_r voting postprocessor of Sec. III-C.
 from repro.core.config import INTERICTAL, ICTAL, LaelapsConfig
 from repro.core.detector import LaelapsDetector, WindowPredictions
 from repro.core.postprocess import (
+    AlarmStateMachine,
     PostprocessConfig,
     Postprocessor,
     alarm_flags,
     delta_scores,
+    flags_to_onsets,
     tune_tr,
 )
-from repro.core.persistence import load_model, save_model
+from repro.core.persistence import (
+    load_model,
+    load_sessions,
+    save_model,
+    save_sessions,
+)
+from repro.core.sessions import StreamSessionManager
 from repro.core.streaming import StreamEvent, StreamingLaelaps
 from repro.core.symbolizers import HVGSymbolizer, LBPSymbolizer
 from repro.core.training import (
@@ -34,17 +42,22 @@ __all__ = [
     "LaelapsConfig",
     "LaelapsDetector",
     "WindowPredictions",
+    "AlarmStateMachine",
     "PostprocessConfig",
     "Postprocessor",
     "alarm_flags",
     "delta_scores",
+    "flags_to_onsets",
     "tune_tr",
     "save_model",
     "load_model",
+    "save_sessions",
+    "load_sessions",
     "LBPSymbolizer",
     "HVGSymbolizer",
     "StreamEvent",
     "StreamingLaelaps",
+    "StreamSessionManager",
     "FitReport",
     "TrainingSegments",
     "segment_slice",

@@ -321,31 +321,48 @@ class LaelapsDetector:
         h = self.encode(signal)
         return self.predict_from_windows(h)
 
+    def classify_from_windows(
+        self, h: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Classify encoded H vectors without assigning decision times.
+
+        The times-free core of :meth:`predict_from_windows`: streaming
+        callers classify mid-stream chunks whose wall-clock position is
+        owned by the stream, so recomputing ``window_times`` from window
+        zero would be wrong for every chunk but the first.
+
+        Returns:
+            ``(labels, distances, deltas)`` — int64 ``(n,)``, int64
+            ``(n, 2)`` and float64 ``(n,)`` arrays.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("detector must be fitted before predicting")
+        h_arr = np.atleast_2d(np.asarray(h))
+        if h_arr.shape[0] == 0:
+            return (
+                np.zeros(0, dtype=np.int64),
+                np.zeros((0, 2), dtype=np.int64),
+                np.zeros(0),
+            )
+        labels, distances = self._classify_windows(self._windows_2d(h_arr))
+        return labels, distances, delta_scores(distances)
+
     def predict_from_windows(self, h: np.ndarray) -> WindowPredictions:
         """Classify already-encoded H vectors in one batched sweep.
 
         Accepts unpacked ``(n, d)`` uint8 or packed ``(n, words)``
         uint64 windows; the whole batch is scored against both
         prototypes in a single vectorized Hamming query, never one
-        window at a time.
+        window at a time.  Decision times are those of a recording
+        starting at window zero — mid-stream chunks must use
+        :meth:`classify_from_windows` and their own clock.
         """
-        if not self.is_fitted:
-            raise RuntimeError("detector must be fitted before predicting")
-        h_arr = np.atleast_2d(np.asarray(h))
-        if h_arr.shape[0] == 0:
-            empty = np.zeros(0)
-            return WindowPredictions(
-                labels=empty.astype(np.int64),
-                distances=np.zeros((0, 2), dtype=np.int64),
-                deltas=empty,
-                times=empty,
-            )
-        labels, distances = self._classify_windows(self._windows_2d(h_arr))
+        labels, distances, deltas = self.classify_from_windows(h)
         return WindowPredictions(
             labels=labels,
             distances=distances,
-            deltas=delta_scores(distances),
-            times=self.window_times(h_arr.shape[0]),
+            deltas=deltas,
+            times=self.window_times(labels.shape[0]),
         )
 
     def postprocessor(self) -> Postprocessor:

@@ -1,4 +1,4 @@
-"""Persistence of trained patient models.
+"""Persistence of trained patient models and live stream sessions.
 
 A deployed Laelaps model is tiny — the item memories regenerate from
 the config seed, so only the two prototypes, the tuned t_r and the
@@ -12,6 +12,13 @@ saved from a ``backend="packed"`` detector reloads as a packed
 detector (prototypes are serialised in the unpacked inspection form
 either way — the packed words are re-derived on load, and the two
 backends are bit-exact, so older unpacked archives load unchanged).
+
+``save_sessions``/``load_sessions`` extend the same idea to a live
+:class:`~repro.core.sessions.StreamSessionManager`: one ``.npz`` holds
+every session's model *plus* its mid-stream state (raw symboliser
+tail, temporal-encoder buffers, alarm state machine, counters), so a
+serving process can checkpoint N concurrent patient streams and resume
+them elsewhere with bit-identical subsequent events.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from repro.core.detector import LaelapsDetector
 from repro.core.symbolizers import HVGSymbolizer, LBPSymbolizer
 
 _FORMAT_VERSION = 1
+_SESSIONS_FORMAT_VERSION = 1
 
 
 def _symbolizer_spec(symbolizer) -> dict:
@@ -47,23 +55,59 @@ def _build_symbolizer(spec: dict):
     raise ValueError(f"unknown symboliser kind {spec['kind']!r}")
 
 
+def _npz_path(path: str | Path) -> Path:
+    """The path ``np.savez`` will actually write to.
+
+    numpy appends ``.npz`` when the suffix is missing, so normalise up
+    front — the returned ``Path`` must always name the real file.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def _model_meta(detector: LaelapsDetector) -> dict:
+    """The JSON-serialisable model description shared by both formats."""
+    return {
+        "n_electrodes": detector.n_electrodes,
+        "config": asdict(detector.config),
+        "tr": detector.tr,
+        "symbolizer": _symbolizer_spec(detector.symbolizer),
+    }
+
+
+def _rebuild_detector(
+    spec: dict, interictal: np.ndarray, ictal: np.ndarray
+) -> LaelapsDetector:
+    """Reconstruct a fitted detector from :func:`_model_meta` + prototypes."""
+    detector = LaelapsDetector(
+        spec["n_electrodes"],
+        LaelapsConfig(**spec["config"]),
+        symbolizer=_build_symbolizer(spec["symbolizer"]),
+    )
+    detector.memory.store(
+        INTERICTAL, np.asarray(interictal).astype(np.uint8)
+    )
+    detector.memory.store(ICTAL, np.asarray(ictal).astype(np.uint8))
+    detector.tr = float(spec["tr"])
+    return detector
+
+
 def save_model(detector: LaelapsDetector, path: str | Path) -> Path:
     """Serialise a fitted detector to ``path`` (``.npz``).
+
+    Returns:
+        The path actually written (``.npz`` appended when missing).
 
     Raises:
         ValueError: If the detector has not been fitted.
     """
     if not detector.is_fitted:
         raise ValueError("only fitted detectors can be saved")
-    path = Path(path)
+    path = _npz_path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    meta = {
-        "version": _FORMAT_VERSION,
-        "n_electrodes": detector.n_electrodes,
-        "config": asdict(detector.config),
-        "tr": detector.tr,
-        "symbolizer": _symbolizer_spec(detector.symbolizer),
-    }
+    meta = {"version": _FORMAT_VERSION, **_model_meta(detector)}
     np.savez_compressed(
         path,
         interictal=detector.memory.prototype(INTERICTAL),
@@ -88,13 +132,105 @@ def load_model(path: str | Path) -> LaelapsDetector:
         raise ValueError(
             f"{path}: unsupported model format version {meta.get('version')!r}"
         )
-    config = LaelapsConfig(**meta["config"])
-    detector = LaelapsDetector(
-        meta["n_electrodes"],
-        config,
-        symbolizer=_build_symbolizer(meta["symbolizer"]),
+    return _rebuild_detector(meta, interictal, ictal)
+
+
+def save_sessions(manager, path: str | Path) -> Path:
+    """Checkpoint a live :class:`StreamSessionManager` to one ``.npz``.
+
+    Stores, per open session, the model (prototypes + config + t_r +
+    symboliser, exactly as :func:`save_model`) and the complete live
+    stream state, so :func:`load_sessions` resumes every stream
+    bit-exactly.  Sessions sharing one detector object are serialised
+    as independent models and resume as independent detectors.
+
+    Raises:
+        ValueError: If the manager has no open sessions.
+    """
+    session_ids = manager.session_ids
+    if not session_ids:
+        raise ValueError("cannot checkpoint a manager with no open sessions")
+    path = _npz_path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    sessions_meta = []
+    arrays: dict[str, np.ndarray] = {}
+    for i, session_id in enumerate(session_ids):
+        stream = manager.session(session_id)
+        detector = stream.detector
+        state = stream.state_dict()
+        post = state["post"]
+        encoder = state["encoder"]
+        sessions_meta.append(
+            {
+                "id": session_id,
+                **_model_meta(detector),
+                "samples_seen": state["samples_seen"],
+                "windows_emitted": state["windows_emitted"],
+                "post_seen": post["seen"],
+                "post_active": post["active"],
+                "n_blocks": len(encoder["blocks"]),
+            }
+        )
+        arrays[f"s{i}__interictal"] = detector.memory.prototype(INTERICTAL)
+        arrays[f"s{i}__ictal"] = detector.memory.prototype(ICTAL)
+        arrays[f"s{i}__raw_tail"] = state["raw_tail"]
+        arrays[f"s{i}__pending"] = encoder["pending"]
+        arrays[f"s{i}__post_labels"] = post["tail_labels"]
+        arrays[f"s{i}__post_deltas"] = post["tail_deltas"]
+        for j, block in enumerate(encoder["blocks"]):
+            arrays[f"s{i}__block{j}"] = block
+    meta = {"version": _SESSIONS_FORMAT_VERSION, "sessions": sessions_meta}
+    np.savez_compressed(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+        **arrays,
     )
-    detector.memory.store(INTERICTAL, interictal.astype(np.uint8))
-    detector.memory.store(ICTAL, ictal.astype(np.uint8))
-    detector.tr = float(meta["tr"])
-    return detector
+    return path
+
+
+def load_sessions(path: str | Path):
+    """Resume a :func:`save_sessions` checkpoint.
+
+    Returns:
+        A fresh :class:`~repro.core.sessions.StreamSessionManager` with
+        every session reopened mid-stream: models are rebuilt as in
+        :func:`load_model`, and the raw tails, encoder buffers and
+        alarm machines pick up exactly where the checkpoint left off.
+    """
+    from repro.core.sessions import StreamSessionManager
+
+    path = Path(path)
+    with np.load(path) as archive:
+        meta = json.loads(bytes(archive["meta"].tobytes()).decode("utf-8"))
+        if meta.get("version") != _SESSIONS_FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported sessions format version "
+                f"{meta.get('version')!r}"
+            )
+        manager = StreamSessionManager()
+        for i, spec in enumerate(meta["sessions"]):
+            detector = _rebuild_detector(
+                spec, archive[f"s{i}__interictal"], archive[f"s{i}__ictal"]
+            )
+            stream = manager.open(spec["id"], detector)
+            stream.restore_state(
+                {
+                    "raw_tail": archive[f"s{i}__raw_tail"],
+                    "samples_seen": spec["samples_seen"],
+                    "windows_emitted": spec["windows_emitted"],
+                    "encoder": {
+                        "pending": archive[f"s{i}__pending"],
+                        "blocks": [
+                            archive[f"s{i}__block{j}"]
+                            for j in range(spec["n_blocks"])
+                        ],
+                    },
+                    "post": {
+                        "tail_labels": archive[f"s{i}__post_labels"],
+                        "tail_deltas": archive[f"s{i}__post_deltas"],
+                        "seen": spec["post_seen"],
+                        "active": spec["post_active"],
+                    },
+                }
+            )
+    return manager

@@ -11,6 +11,19 @@ over the last 10 labels; an alarm is flagged only when
 
 ``t_c`` is global; ``t_r`` is tuned per patient on the training tail with
 the rule implemented in :func:`tune_tr`.
+
+Warm-up / alarm-latency contract
+--------------------------------
+
+The voting window is only evaluated once it is *full*: no alarm can be
+raised before ``postprocess_len`` labels exist, so the earliest possible
+alarm sits at window index ``postprocess_len - 1`` of a recording (or
+stream).  Batch (:func:`alarm_flags`, :meth:`Postprocessor.flags`,
+:func:`tune_tr`) and incremental (:class:`AlarmStateMachine`, and through
+it ``StreamingLaelaps`` and the stream sessions) paths share one
+implementation — :class:`AlarmStateMachine` — and therefore produce
+bit-identical alarm onsets for every ``t_c <= postprocess_len`` and any
+chunking of the label stream.
 """
 
 from __future__ import annotations
@@ -38,17 +51,26 @@ def delta_scores(distances: np.ndarray) -> np.ndarray:
     return np.abs(arr[:, 0].astype(np.float64) - arr[:, 1].astype(np.float64))
 
 
-def _sliding_sum(values: np.ndarray, width: int) -> np.ndarray:
+def _windowed_sum(values: np.ndarray, width: int) -> np.ndarray:
     """Sum of each trailing window of ``width`` values; shape preserved.
 
-    Entry ``i`` sums ``values[max(0, i - width + 1) : i + 1]`` — windows at
-    the start are truncated, which matters only for the first
-    ``width - 1`` labels of a recording.
+    Entry ``i`` sums ``values[max(0, i - width + 1) : i + 1]`` (leading
+    windows are zero-padded; the alarm machine masks them out under the
+    warm-up contract anyway).  Each window is reduced explicitly rather
+    than as a difference of running cumsums: a full window's sum then
+    depends *only* on the window's contents, never on the stream prefix,
+    which is what keeps the state machine bit-identical under arbitrary
+    chunking even for adversarially scaled float deltas (a cumsum
+    difference can absorb a tiny delta into a large prefix total).
     """
-    csum = np.concatenate([[0.0], np.cumsum(values, dtype=np.float64)])
-    idx = np.arange(len(values)) + 1
-    lo = np.maximum(idx - width, 0)
-    return csum[idx] - csum[lo]
+    if len(values) == 0:
+        return np.zeros(0, dtype=np.float64)
+    padded = np.concatenate(
+        [np.zeros(width - 1, dtype=np.float64), values]
+    )
+    return np.lib.stride_tricks.sliding_window_view(padded, width).sum(
+        axis=-1
+    )
 
 
 def alarm_flags(
@@ -58,7 +80,12 @@ def alarm_flags(
     tc: int = 10,
     tr: float = 0.0,
 ) -> np.ndarray:
-    """Per-window alarm condition of Sec. III-C.
+    """Per-window alarm condition of Sec. III-C (one-shot batch form).
+
+    Thin wrapper over :class:`AlarmStateMachine` fed the whole stream in
+    one chunk, so batch and streaming postprocessing cannot diverge.  No
+    window can flag before the voting window is full: the earliest
+    possible True is at index ``postprocess_len - 1``.
 
     Args:
         labels: int array ``(n_windows,)`` of classifier labels.
@@ -70,23 +97,11 @@ def alarm_flags(
     Returns:
         bool array ``(n_windows,)``: True where the alarm condition holds.
     """
-    labels_arr = np.asarray(labels)
-    deltas_arr = np.asarray(deltas, dtype=np.float64)
-    if labels_arr.shape != deltas_arr.shape or labels_arr.ndim != 1:
-        raise ValueError(
-            f"labels {labels_arr.shape} and deltas {deltas_arr.shape} "
-            "must be equal-length 1-D arrays"
-        )
-    if not 1 <= tc <= postprocess_len:
-        raise ValueError(f"need 1 <= tc <= postprocess_len, got tc={tc}")
-    ictal = (labels_arr == ICTAL).astype(np.float64)
-    ictal_counts = _sliding_sum(ictal, postprocess_len)
-    ictal_delta_sums = _sliding_sum(ictal * deltas_arr, postprocess_len)
-    with np.errstate(invalid="ignore", divide="ignore"):
-        mean_delta = np.where(
-            ictal_counts > 0, ictal_delta_sums / ictal_counts, 0.0
-        )
-    return (ictal_counts >= tc) & (mean_delta > tr)
+    machine = AlarmStateMachine(
+        PostprocessConfig(postprocess_len=postprocess_len, tc=tc, tr=tr)
+    )
+    flags, _ = machine.update(labels, deltas)
+    return flags
 
 
 def flags_to_onsets(flags: np.ndarray) -> np.ndarray:
@@ -116,18 +131,148 @@ class PostprocessConfig:
             raise ValueError(f"tr must be >= 0, got {self.tr}")
 
 
+class AlarmStateMachine:
+    """The canonical Sec. III-C postprocessor: vectorized *and* resumable.
+
+    One instance consumes a label/delta stream in arbitrary chunks (a
+    whole recording at once, one label at a time, or anything between)
+    and evaluates the t_c / t_r vote over the trailing
+    ``postprocess_len`` labels.  Chunking never changes the output:
+    feeding chunks ``a`` then ``b`` produces exactly the flags of
+    feeding ``a + b`` in one call.  Both the batch pipeline
+    (:func:`alarm_flags`, :meth:`Postprocessor.flags`, :func:`tune_tr`)
+    and the streaming/session engines run through this class, which is
+    what guarantees bit-identical alarms between ``detect()`` and
+    incremental ``push()``.
+
+    Warm-up contract: the vote is only taken once the window is full,
+    so no flag can be raised for a global window index smaller than
+    ``postprocess_len - 1`` — the detector's intrinsic alarm latency.
+
+    The full live state is exposed through :meth:`state_dict` /
+    :meth:`restore_state` (used by the stream-session checkpointing),
+    and is O(postprocess_len) regardless of stream length.
+    """
+
+    def __init__(self, config: PostprocessConfig | None = None) -> None:
+        self.config = config or PostprocessConfig()
+        self._tail_labels = np.zeros(0, dtype=np.int64)
+        self._tail_deltas = np.zeros(0, dtype=np.float64)
+        self._seen = 0
+        self._active = False
+
+    @property
+    def labels_seen(self) -> int:
+        """Total labels consumed so far."""
+        return self._seen
+
+    @property
+    def alarm_active(self) -> bool:
+        """Whether the alarm condition held at the last consumed label."""
+        return self._active
+
+    def reset(self) -> None:
+        """Forget all stream state (start of a new recording)."""
+        self._tail_labels = np.zeros(0, dtype=np.int64)
+        self._tail_deltas = np.zeros(0, dtype=np.float64)
+        self._seen = 0
+        self._active = False
+
+    def update(
+        self, labels: np.ndarray, deltas: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Consume a chunk of labels/deltas, continuing the stream.
+
+        Args:
+            labels: int array ``(n,)`` of classifier labels.
+            deltas: float array ``(n,)`` of delta scores.
+
+        Returns:
+            ``(flags, rising)`` bool arrays ``(n,)``: the per-label alarm
+            condition and its rising edges (True exactly where an alarm
+            *onset* occurs, carried correctly across chunk boundaries).
+        """
+        cfg = self.config
+        labels_arr = np.asarray(labels, dtype=np.int64)
+        deltas_arr = np.asarray(deltas, dtype=np.float64)
+        if labels_arr.shape != deltas_arr.shape or labels_arr.ndim != 1:
+            raise ValueError(
+                f"labels {labels_arr.shape} and deltas {deltas_arr.shape} "
+                "must be equal-length 1-D arrays"
+            )
+        n = labels_arr.shape[0]
+        if n == 0:
+            empty = np.zeros(0, dtype=bool)
+            return empty, empty.copy()
+        width = cfg.postprocess_len
+        joined_labels = np.concatenate([self._tail_labels, labels_arr])
+        joined_deltas = np.concatenate([self._tail_deltas, deltas_arr])
+        carry = self._tail_labels.shape[0]
+        ictal = (joined_labels == ICTAL).astype(np.float64)
+        ictal_counts = _windowed_sum(ictal, width)[carry:]
+        ictal_delta_sums = _windowed_sum(ictal * joined_deltas, width)[carry:]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            mean_delta = np.where(
+                ictal_counts > 0, ictal_delta_sums / ictal_counts, 0.0
+            )
+        flags = (ictal_counts >= cfg.tc) & (mean_delta > cfg.tr)
+        # Warm-up: a window only votes once `width` labels exist.
+        global_index = self._seen + np.arange(n)
+        flags &= global_index >= width - 1
+        previous = np.concatenate([[self._active], flags[:-1]])
+        rising = flags & ~previous
+        self._seen += n
+        keep = min(width - 1, joined_labels.shape[0])
+        self._tail_labels = joined_labels[joined_labels.shape[0] - keep :].copy()
+        self._tail_deltas = joined_deltas[joined_deltas.shape[0] - keep :].copy()
+        self._active = bool(flags[-1])
+        return flags, rising
+
+    def state_dict(self) -> dict:
+        """Snapshot of the live stream state (checkpointable)."""
+        return {
+            "tail_labels": self._tail_labels.copy(),
+            "tail_deltas": self._tail_deltas.copy(),
+            "seen": int(self._seen),
+            "active": bool(self._active),
+        }
+
+    def restore_state(self, state: dict) -> "AlarmStateMachine":
+        """Resume from a :meth:`state_dict` snapshot (bit-exact)."""
+        tail_labels = np.asarray(state["tail_labels"], dtype=np.int64)
+        tail_deltas = np.asarray(state["tail_deltas"], dtype=np.float64)
+        if tail_labels.shape != tail_deltas.shape or tail_labels.ndim != 1:
+            raise ValueError("state tails must be equal-length 1-D arrays")
+        if tail_labels.shape[0] > self.config.postprocess_len - 1:
+            raise ValueError(
+                f"state tail of {tail_labels.shape[0]} labels exceeds "
+                f"postprocess_len - 1 = {self.config.postprocess_len - 1}"
+            )
+        self._tail_labels = tail_labels.copy()
+        self._tail_deltas = tail_deltas.copy()
+        self._seen = int(state["seen"])
+        self._active = bool(state["active"])
+        return self
+
+
 class Postprocessor:
-    """Stateful wrapper turning label/delta streams into alarm onsets."""
+    """Stateless batch wrapper turning label/delta streams into onsets.
+
+    Each call runs a fresh :class:`AlarmStateMachine` over the whole
+    stream, so results match the incremental engines exactly.
+    """
 
     def __init__(self, config: PostprocessConfig | None = None) -> None:
         self.config = config or PostprocessConfig()
 
+    def machine(self) -> AlarmStateMachine:
+        """A fresh resumable state machine at this configuration."""
+        return AlarmStateMachine(self.config)
+
     def flags(self, labels: np.ndarray, deltas: np.ndarray) -> np.ndarray:
         """Alarm condition per window (see :func:`alarm_flags`)."""
-        cfg = self.config
-        return alarm_flags(
-            labels, deltas, cfg.postprocess_len, cfg.tc, cfg.tr
-        )
+        flags, _ = self.machine().update(labels, deltas)
+        return flags
 
     def onsets(self, labels: np.ndarray, deltas: np.ndarray) -> np.ndarray:
         """Window indices of alarm onsets (rising edges of the condition)."""

@@ -4,20 +4,31 @@ The GPU implementation of Sec. V processes one 0.5 s step at a time; this
 module provides the same incremental dataflow in pure Python: raw samples
 are pushed in arbitrary chunks, LBP codes continue seamlessly across
 chunk boundaries, the temporal encoder emits an H vector per completed
-0.5 s block, and the postprocessor votes over a rolling window of the
-last ten labels.  Memory use is O(d) regardless of stream length.
+0.5 s block, and the shared :class:`~repro.core.postprocess.AlarmStateMachine`
+votes over a rolling window of the last ten labels.  Memory use is O(d)
+regardless of stream length.
+
+Because the postprocessor *is* the batch one (same class, resumable),
+``run()`` raises alarms at exactly the window indices where
+``LaelapsDetector.detect()`` does, for every ``t_c <= postprocess_len``
+and any chunking — including the warm-up contract that no alarm can fire
+before ``postprocess_len`` labels exist.
+
+Multi-patient serving is layered on top of this class by
+:class:`repro.core.sessions.StreamSessionManager`, which drives many
+streams through the two-phase split :meth:`StreamingLaelaps.encode_chunk`
+/ :meth:`StreamingLaelaps.emit_events` so classification can be batched
+across sessions.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.config import ICTAL
 from repro.core.detector import LaelapsDetector
-from repro.lbp.codes import lbp_codes_multichannel
+from repro.core.postprocess import AlarmStateMachine, PostprocessConfig
 
 
 @dataclass(frozen=True)
@@ -49,6 +60,11 @@ class StreamingLaelaps:
     stream runs on whichever backend the detector was configured with —
     on ``"packed"`` the H vectors never leave the word domain between
     the encoder and the associative memory.
+
+    Code continuation and decision times follow the detector's
+    *symbolizer* (not the config's default LBP length), so a detector
+    built with a custom-length :class:`~repro.core.symbolizers.LBPSymbolizer`
+    streams with the same codes and clock as its batch path.
     """
 
     def __init__(self, detector: LaelapsDetector) -> None:
@@ -63,13 +79,16 @@ class StreamingLaelaps:
             )
         self.detector = detector
         cfg = detector.config
+        self._symbolizer = detector.symbolizer
         self._encoder = detector.temporal_encoder()
         self._raw_tail = np.zeros((0, detector.n_electrodes), dtype=np.float64)
-        self._labels: deque[int] = deque(maxlen=cfg.postprocess_len)
-        self._deltas: deque[float] = deque(maxlen=cfg.postprocess_len)
+        self._post = AlarmStateMachine(
+            PostprocessConfig(
+                postprocess_len=cfg.postprocess_len, tc=cfg.tc, tr=detector.tr
+            )
+        )
         self._samples_seen = 0
         self._windows_emitted = 0
-        self._alarm_active = False
 
     @property
     def samples_seen(self) -> int:
@@ -81,15 +100,80 @@ class StreamingLaelaps:
         """Analysis windows classified so far."""
         return self._windows_emitted
 
-    def _alarm_condition(self) -> bool:
+    @property
+    def postprocessor_state(self) -> AlarmStateMachine:
+        """The live alarm state machine (shared batch/stream semantics)."""
+        return self._post
+
+    def encode_chunk(self, chunk: np.ndarray) -> np.ndarray:
+        """Phase 1 of :meth:`push`: raw samples to completed H vectors.
+
+        Buffers the symboliser tail across calls and advances the
+        temporal encoder; returns the H vectors of the windows completed
+        by this chunk (possibly zero) in the backend's representation.
+        Classification is *not* performed — callers either classify
+        immediately (:meth:`push`) or batch across many sessions
+        (:class:`repro.core.sessions.StreamSessionManager`).
+        """
+        arr = np.asarray(chunk, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != self.detector.n_electrodes:
+            raise ValueError(
+                f"expected (n, {self.detector.n_electrodes}), got {arr.shape}"
+            )
+        self._samples_seen += arr.shape[0]
+        joined = np.concatenate([self._raw_tail, arr], axis=0)
+        length = self._symbolizer.length
+        if joined.shape[0] <= length:
+            self._raw_tail = joined
+            return self._encoder.feed(
+                np.zeros((0, self.detector.n_electrodes), dtype=np.int64)
+            )
+        codes = self._symbolizer.codes(joined)
+        # Keep the raw samples whose codes are not yet computable.
+        self._raw_tail = joined[-length:].copy()
+        return self._encoder.feed(codes)
+
+    def emit_events(
+        self, labels: np.ndarray, deltas: np.ndarray
+    ) -> list[StreamEvent]:
+        """Phase 2 of :meth:`push`: classified windows to stream events.
+
+        Feeds the shared alarm state machine and stamps each window with
+        the stream clock (global window index, symboliser margin), so
+        decision times are correct for mid-stream chunks.
+        """
+        labels_arr = np.asarray(labels, dtype=np.int64)
+        deltas_arr = np.asarray(deltas, dtype=np.float64)
+        n = labels_arr.shape[0]
+        if n == 0:
+            return []
         cfg = self.detector.config
-        if len(self._labels) < cfg.postprocess_len:
-            return False
-        ictal = [i for i, lab in enumerate(self._labels) if lab == ICTAL]
-        if len(ictal) < cfg.tc:
-            return False
-        mean_delta = float(np.mean([self._deltas[i] for i in ictal]))
-        return mean_delta > self.detector.tr
+        # t_r lives on the detector and may be (re)tuned after this
+        # stream was opened; track it so alarms keep matching detect().
+        if self.detector.tr != self._post.config.tr:
+            self._post.config = PostprocessConfig(
+                postprocess_len=cfg.postprocess_len,
+                tc=cfg.tc,
+                tr=self.detector.tr,
+            )
+        spec = cfg.window_spec
+        index = self._windows_emitted + np.arange(n)
+        times = (
+            index * spec.step_samples
+            + spec.window_samples
+            + self._symbolizer.margin
+        ) / cfg.fs
+        _, rising = self._post.update(labels_arr, deltas_arr)
+        self._windows_emitted += n
+        return [
+            StreamEvent(
+                time_s=float(times[k]),
+                label=int(labels_arr[k]),
+                delta=float(deltas_arr[k]),
+                alarm=bool(rising[k]),
+            )
+            for k in range(n)
+        ]
 
     def push(self, chunk: np.ndarray) -> list[StreamEvent]:
         """Consume a chunk of raw samples; return completed windows.
@@ -98,48 +182,11 @@ class StreamingLaelaps:
             chunk: Array ``(n_samples, n_electrodes)`` continuing the
                 stream (any chunk size, including smaller than a block).
         """
-        arr = np.asarray(chunk, dtype=np.float64)
-        if arr.ndim != 2 or arr.shape[1] != self.detector.n_electrodes:
-            raise ValueError(
-                f"expected (n, {self.detector.n_electrodes}), got {arr.shape}"
-            )
-        cfg = self.detector.config
-        self._samples_seen += arr.shape[0]
-        joined = np.concatenate([self._raw_tail, arr], axis=0)
-        length = cfg.lbp_length
-        if joined.shape[0] <= length:
-            self._raw_tail = joined
-            return []
-        codes = lbp_codes_multichannel(joined, length)
-        # Keep the raw samples whose codes are not yet computable.
-        self._raw_tail = joined[-length:].copy()
-        h_vectors = self._encoder.feed(codes)
-        events: list[StreamEvent] = []
+        h_vectors = self.encode_chunk(chunk)
         if h_vectors.shape[0] == 0:
-            return events
-        preds = self.detector.predict_from_windows(h_vectors)
-        for k in range(h_vectors.shape[0]):
-            self._labels.append(int(preds.labels[k]))
-            self._deltas.append(float(preds.deltas[k]))
-            index = self._windows_emitted
-            self._windows_emitted += 1
-            time_s = (
-                index * cfg.window_spec.step_samples
-                + cfg.window_spec.window_samples
-                + length
-            ) / cfg.fs
-            condition = self._alarm_condition()
-            rising = condition and not self._alarm_active
-            self._alarm_active = condition
-            events.append(
-                StreamEvent(
-                    time_s=time_s,
-                    label=int(preds.labels[k]),
-                    delta=float(preds.deltas[k]),
-                    alarm=rising,
-                )
-            )
-        return events
+            return []
+        labels, _, deltas = self.detector.classify_from_windows(h_vectors)
+        return self.emit_events(labels, deltas)
 
     def run(self, signal: np.ndarray, chunk_samples: int) -> list[StreamEvent]:
         """Convenience: stream a whole recording in fixed-size chunks."""
@@ -147,3 +194,38 @@ class StreamingLaelaps:
         for start in range(0, signal.shape[0], chunk_samples):
             events.extend(self.push(signal[start : start + chunk_samples]))
         return events
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot of the live stream state (model excluded).
+
+        Everything needed to resume the stream bit-exactly on a detector
+        reloaded from :func:`repro.core.persistence.load_model`: the raw
+        symboliser tail, the temporal-encoder buffers and the alarm
+        state machine, plus the sample/window counters.
+        """
+        return {
+            "raw_tail": self._raw_tail.copy(),
+            "samples_seen": int(self._samples_seen),
+            "windows_emitted": int(self._windows_emitted),
+            "encoder": self._encoder.state_dict(),
+            "post": self._post.state_dict(),
+        }
+
+    def restore_state(self, state: dict) -> "StreamingLaelaps":
+        """Resume from a :meth:`state_dict` snapshot (bit-exact)."""
+        raw_tail = np.asarray(state["raw_tail"], dtype=np.float64)
+        if raw_tail.ndim != 2 or raw_tail.shape[1] != self.detector.n_electrodes:
+            raise ValueError(
+                f"raw tail must be (n, {self.detector.n_electrodes}), "
+                f"got {raw_tail.shape}"
+            )
+        self._raw_tail = raw_tail.copy()
+        self._samples_seen = int(state["samples_seen"])
+        self._windows_emitted = int(state["windows_emitted"])
+        self._encoder.restore_state(state["encoder"])
+        self._post.restore_state(state["post"])
+        return self

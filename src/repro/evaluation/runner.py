@@ -16,7 +16,11 @@ from typing import Any, Callable, Protocol
 import numpy as np
 
 from repro.core.detector import WindowPredictions
-from repro.core.postprocess import alarm_flags, flags_to_onsets, tune_tr
+from repro.core.postprocess import (
+    PostprocessConfig,
+    Postprocessor,
+    tune_tr,
+)
 from repro.core.training import TrainingSegments, windows_in_segments
 from repro.data.model import Patient, Recording, SeizureEvent
 from repro.data.splits import ChronologicalSplit, split_patient
@@ -201,10 +205,17 @@ def finalize_run(
     grace_s: float = 5.0,
     refractory_s: float = 30.0,
 ) -> PatientResult:
-    """Apply postprocessing at a given t_r and score the test span."""
+    """Apply postprocessing at a given t_r and score the test span.
+
+    Runs the same shared state machine as ``detect()`` and the stream
+    engines (so the warm-up contract applies: no alarm before window
+    ``postprocess_len - 1``).
+    """
     preds = run.test_preds
-    flags = alarm_flags(preds.labels, preds.deltas, postprocess_len, tc, tr)
-    onsets = flags_to_onsets(flags)
+    post = Postprocessor(
+        PostprocessConfig(postprocess_len=postprocess_len, tc=tc, tr=tr)
+    )
+    onsets = post.onsets(preds.labels, preds.deltas)
     alarm_times = preds.times[onsets] if len(preds) else np.zeros(0)
     metrics = compute_metrics(
         alarm_times,
@@ -237,10 +248,10 @@ def evaluate_detector(
     """
     preds = predict_windows(detector, recording.data)
     threshold = tr if tr is not None else float(getattr(detector, "tr", 0.0))
-    flags = alarm_flags(
-        preds.labels, preds.deltas, postprocess_len, tc, threshold
+    post = Postprocessor(
+        PostprocessConfig(postprocess_len=postprocess_len, tc=tc, tr=threshold)
     )
-    onsets = flags_to_onsets(flags)
+    onsets = post.onsets(preds.labels, preds.deltas)
     alarm_times = preds.times[onsets] if len(preds) else np.zeros(0)
     return compute_metrics(
         alarm_times, recording.seizures, recording.duration_s

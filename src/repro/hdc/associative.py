@@ -276,3 +276,78 @@ class AssociativeMemory:
     ) -> tuple[np.ndarray, np.ndarray]:
         """:meth:`classify` for packed queries (same tie-breaking)."""
         return self._labels_from_distances(self.distances_packed(h_vectors))
+
+    def packed_block(self) -> tuple[np.ndarray, np.ndarray]:
+        """The memory's prototypes as one grouped-sweep block.
+
+        Returns:
+            ``(prototypes, labels)``: uint64 ``(n_classes, words)`` and
+            int64 ``(n_classes,)`` arrays, insertion-ordered like
+            :attr:`labels`.  Both are read-only views into the memory's
+            state (``store`` replaces them wholesale, so holding a view
+            is safe); feed them to :func:`grouped_classify_packed`.
+        """
+        if self._packed is None:
+            raise RuntimeError("associative memory has no prototypes")
+        return self._packed, np.asarray(self._labels, dtype=np.int64)
+
+
+def grouped_classify_packed(
+    queries: np.ndarray,
+    prototype_stack: np.ndarray,
+    owners: np.ndarray,
+    label_table: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Classify a mixed batch of packed queries, each against its owner.
+
+    The cross-session serving kernel: rows of ``queries`` belong to
+    *different* associative memories (e.g. different patients' models),
+    and every row is scored against its own memory's prototype block in
+    a single vectorized XOR + popcount sweep — no per-session Python
+    loop, no unpacking.  Bit-exact against calling
+    :meth:`AssociativeMemory.classify_packed` memory by memory.
+
+    Args:
+        queries: uint64 array ``(n, words)`` of packed H vectors.
+        prototype_stack: uint64 array ``(n_memories, n_classes, words)``
+            of packed prototypes (every memory the same class count —
+            two for Laelaps detectors).
+        owners: int array ``(n,)`` mapping each query row to its memory
+            (row of ``prototype_stack``).
+        label_table: int64 array ``(n_memories, n_classes)`` giving the
+            class label of each prototype row, insertion-ordered as in
+            :attr:`AssociativeMemory.labels`.
+
+    Returns:
+        ``(labels, distances)``: int64 ``(n,)`` class labels (ties
+        resolve to the earliest-stored class, as in
+        :meth:`AssociativeMemory.classify`) and int64
+        ``(n, n_classes)`` Hamming distances.
+    """
+    query_arr = np.asarray(queries, dtype=np.uint64)
+    stack = np.asarray(prototype_stack, dtype=np.uint64)
+    owner_arr = np.asarray(owners, dtype=np.intp)
+    table = np.asarray(label_table, dtype=np.int64)
+    if query_arr.ndim != 2 or stack.ndim != 3:
+        raise ValueError(
+            f"need (n, words) queries and (m, c, words) prototypes, got "
+            f"{query_arr.shape} and {stack.shape}"
+        )
+    if query_arr.shape[-1] != stack.shape[-1]:
+        raise ValueError(
+            f"word-count mismatch: {query_arr.shape[-1]} vs {stack.shape[-1]}"
+        )
+    if owner_arr.shape != (query_arr.shape[0],):
+        raise ValueError(
+            f"owners must be ({query_arr.shape[0]},), got {owner_arr.shape}"
+        )
+    if table.shape != stack.shape[:2]:
+        raise ValueError(
+            f"label table must be {stack.shape[:2]}, got {table.shape}"
+        )
+    dists = hamming_distance_packed(
+        query_arr[:, None, :], stack[owner_arr]
+    )
+    idx = np.argmin(dists, axis=-1)
+    labels = table[owner_arr, idx]
+    return labels, dists

@@ -111,6 +111,48 @@ class WindowBundler:
         self.reset()
         return self.feed(codes)
 
+    # ------------------------------------------------------------------
+    # Checkpointing (live-stream session state)
+    # ------------------------------------------------------------------
+
+    def _state_blocks(self) -> list[np.ndarray]:
+        """The per-block accumulation state as a list of arrays."""
+        raise NotImplementedError
+
+    def _restore_blocks(self, blocks: list[np.ndarray]) -> None:
+        """Rebuild the per-block state from :meth:`_state_blocks` output."""
+        raise NotImplementedError
+
+    def state_dict(self) -> dict:
+        """Snapshot of the streaming state: pending codes + block state.
+
+        The snapshot is plain numpy data (checkpointable to ``.npz``);
+        :meth:`restore_state` resumes the stream bit-exactly.
+        """
+        return {
+            "pending": self._pending.copy(),
+            "blocks": [block.copy() for block in self._state_blocks()],
+        }
+
+    def restore_state(self, state: dict) -> "WindowBundler":
+        """Resume from a :meth:`state_dict` snapshot."""
+        pending = np.asarray(state["pending"], dtype=np.int64)
+        if pending.ndim != 2 or pending.shape[1] != self.spatial.n_electrodes:
+            raise ValueError(
+                f"pending codes must be (n, {self.spatial.n_electrodes}), "
+                f"got {pending.shape}"
+            )
+        blocks = list(state["blocks"])
+        if len(blocks) > self.blocks_per_window:
+            raise ValueError(
+                f"{len(blocks)} blocks exceed the window's "
+                f"{self.blocks_per_window}"
+            )
+        self._pending = pending.copy()
+        self._reset_blocks()
+        self._restore_blocks(blocks)
+        return self
+
 
 class TemporalEncoder(WindowBundler):
     """Streaming window bundler over spatial records.
@@ -137,6 +179,13 @@ class TemporalEncoder(WindowBundler):
 
     def _empty_windows(self) -> np.ndarray:
         return np.zeros((0, self.dim), dtype=np.uint8)
+
+    def _state_blocks(self) -> list[np.ndarray]:
+        return list(self._block_sums)
+
+    def _restore_blocks(self, blocks: list[np.ndarray]) -> None:
+        for block in blocks:
+            self._block_sums.append(np.asarray(block, dtype=np.int32).copy())
 
 
 def encode_recording(

@@ -68,6 +68,15 @@ class PackedTemporalEncoder(WindowBundler):
     def _empty_windows(self) -> np.ndarray:
         return np.zeros((0, self.words), dtype=np.uint64)
 
+    def _state_blocks(self) -> list[np.ndarray]:
+        return list(self._block_planes)
+
+    def _restore_blocks(self, blocks: list[np.ndarray]) -> None:
+        for planes in blocks:
+            self._block_planes.append(
+                np.asarray(planes, dtype=np.uint64).copy()
+            )
+
 
 def encode_recording_packed(
     codes: np.ndarray, spatial: PackedSpatialEncoder, spec: WindowSpec

@@ -34,6 +34,15 @@ class TestRoundTrip:
         b = loaded.detect(mini_recording.data)
         np.testing.assert_allclose(a.alarm_times, b.alarm_times)
 
+    def test_suffixless_path_returns_real_file(
+        self, fitted_detector, tmp_path
+    ):
+        # np.savez appends .npz when missing; the returned path must
+        # name the file actually written.
+        path = save_model(fitted_detector, tmp_path / "checkpoint")
+        assert path.suffix == ".npz" and path.exists()
+        assert load_model(path).tr == fitted_detector.tr
+
     def test_model_file_is_small(self, fitted_detector, tmp_path):
         # Only config + two prototypes: the on-disk model for d = 1 kbit
         # must stay in the low kilobytes (embedded-deployment claim).

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.config import ICTAL, INTERICTAL
 from repro.core.postprocess import (
+    AlarmStateMachine,
     PostprocessConfig,
     Postprocessor,
     alarm_flags,
@@ -73,6 +74,101 @@ class TestAlarmFlags:
     def test_empty_stream(self):
         flags = alarm_flags(np.zeros(0, dtype=int), np.zeros(0), 10, 10, 0.0)
         assert flags.shape == (0,)
+
+
+class TestWarmUpContract:
+    """No alarm may fire before ``postprocess_len`` labels exist."""
+
+    def test_no_flag_before_window_full_for_small_tc(self):
+        # The historic divergence: tc=5 over an all-ictal stream used to
+        # flag at window 4 in the batch path (truncated window) while
+        # streaming waited for a full window.  The contract is the
+        # streaming behaviour: earliest flag at index postprocess_len-1.
+        labels = _labels("i" * 20)
+        deltas = np.ones(20)
+        for tc in range(1, 11):
+            flags = alarm_flags(labels, deltas, 10, tc, 0.0)
+            assert not flags[:9].any(), f"tc={tc} fired during warm-up"
+            assert flags[9], f"tc={tc} missed the first full window"
+
+    def test_short_stream_never_fires(self):
+        labels = _labels("i" * 9)
+        flags = alarm_flags(labels, np.ones(9), 10, 1, 0.0)
+        assert not flags.any()
+
+
+class TestAlarmStateMachine:
+    def test_chunking_invariance(self):
+        rng = np.random.default_rng(3)
+        labels = rng.integers(0, 2, 200)
+        deltas = rng.uniform(0, 10, 200)
+        config = PostprocessConfig(postprocess_len=10, tc=6, tr=2.0)
+        batch = alarm_flags(labels, deltas, 10, 6, 2.0)
+        for sizes in ([1] * 200, [7] * 29, [200], [3, 50, 147]):
+            machine = AlarmStateMachine(config)
+            parts = []
+            offset = 0
+            for size in sizes:
+                flags, _ = machine.update(
+                    labels[offset : offset + size],
+                    deltas[offset : offset + size],
+                )
+                parts.append(flags)
+                offset += size
+            np.testing.assert_array_equal(np.concatenate(parts), batch)
+
+    def test_rising_edges_cross_chunks(self):
+        labels = _labels("i" * 30)
+        deltas = np.ones(30)
+        machine = AlarmStateMachine(PostprocessConfig(tc=10))
+        _, r1 = machine.update(labels[:12], deltas[:12])
+        _, r2 = machine.update(labels[12:], deltas[12:])
+        # Exactly one onset (at index 9); the condition staying true in
+        # the second chunk must not re-raise.
+        assert r1.sum() == 1 and r1[9]
+        assert r2.sum() == 0
+
+    def test_state_round_trip(self):
+        rng = np.random.default_rng(5)
+        labels = rng.integers(0, 2, 80)
+        deltas = rng.uniform(0, 5, 80)
+        config = PostprocessConfig(postprocess_len=10, tc=4, tr=1.0)
+        reference = AlarmStateMachine(config)
+        ref_a, _ = reference.update(labels[:37], deltas[:37])
+        ref_b, _ = reference.update(labels[37:], deltas[37:])
+        machine = AlarmStateMachine(config)
+        first, _ = machine.update(labels[:37], deltas[:37])
+        resumed = AlarmStateMachine(config).restore_state(machine.state_dict())
+        second, _ = resumed.update(labels[37:], deltas[37:])
+        np.testing.assert_array_equal(first, ref_a)
+        np.testing.assert_array_equal(second, ref_b)
+
+    def test_counters_and_reset(self):
+        machine = AlarmStateMachine()
+        machine.update(np.ones(25, dtype=int), np.ones(25))
+        assert machine.labels_seen == 25
+        assert machine.alarm_active
+        machine.reset()
+        assert machine.labels_seen == 0
+        assert not machine.alarm_active
+
+    def test_rejects_oversized_state_tail(self):
+        machine = AlarmStateMachine(PostprocessConfig(postprocess_len=5, tc=5))
+        with pytest.raises(ValueError):
+            machine.restore_state(
+                {
+                    "tail_labels": np.ones(5, dtype=int),
+                    "tail_deltas": np.ones(5),
+                    "seen": 5,
+                    "active": False,
+                }
+            )
+
+    def test_empty_update(self):
+        machine = AlarmStateMachine()
+        flags, rising = machine.update(np.zeros(0, dtype=int), np.zeros(0))
+        assert flags.shape == rising.shape == (0,)
+        assert machine.labels_seen == 0
 
 
 class TestFlagsToOnsets:

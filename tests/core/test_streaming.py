@@ -6,6 +6,7 @@ import pytest
 from repro.core.config import LaelapsConfig
 from repro.core.detector import LaelapsDetector
 from repro.core.streaming import StreamingLaelaps
+from repro.core.symbolizers import LBPSymbolizer
 
 
 class TestConstruction:
@@ -73,6 +74,72 @@ class TestStreamingBehaviour:
             np.zeros((spec.step_samples // 2, fitted_detector.n_electrodes))
         )
         assert events == []
+
+    def test_custom_symbolizer_length_matches_batch(
+        self, mini_recording, mini_segments, small_config
+    ):
+        # Regression: streaming used cfg.lbp_length for code continuation
+        # and decision times, so a custom-length LBPSymbolizer silently
+        # produced wrong codes and times.  The symboliser is authoritative.
+        symbolizer = LBPSymbolizer(4)
+        assert symbolizer.length != small_config.lbp_length
+        detector = LaelapsDetector(
+            mini_recording.n_electrodes, small_config, symbolizer=symbolizer
+        )
+        detector.fit(mini_recording.data, mini_segments)
+        segment = mini_recording.data[: 256 * 60]
+        batch = detector.predict(segment)
+        events = StreamingLaelaps(detector).run(segment, 777)
+        assert len(events) == len(batch)
+        np.testing.assert_array_equal(
+            [e.label for e in events], batch.labels
+        )
+        np.testing.assert_allclose([e.time_s for e in events], batch.times)
+
+    def test_mid_stream_chunk_times_continue(
+        self, fitted_detector, mini_recording
+    ):
+        # Regression: per-chunk times restarted at window zero because
+        # push() recomputed window_times from scratch for every chunk.
+        streamer = StreamingLaelaps(fitted_detector)
+        segment = mini_recording.data[: 256 * 30]
+        times = [
+            e.time_s for e in streamer.run(segment, 1000)
+        ]
+        expected = fitted_detector.window_times(len(times))
+        np.testing.assert_allclose(times, expected)
+        assert np.all(np.diff(times) > 0)
+
+    def test_tr_retuned_after_open_is_honoured(
+        self, fitted_detector, mini_recording
+    ):
+        # Regression: the stream froze detector.tr at construction; a
+        # threshold (re)tuned afterwards must apply, matching detect().
+        segment = mini_recording.data[: 256 * 60]
+        streamer = StreamingLaelaps(fitted_detector)
+        old_tr = fitted_detector.tr
+        try:
+            fitted_detector.tr = 1e9  # suppress everything
+            batch = fitted_detector.detect(segment)
+            events = streamer.run(segment, 512)
+            assert batch.alarm_times.size == 0
+            assert not any(e.alarm for e in events)
+        finally:
+            fitted_detector.tr = old_tr
+
+    def test_checkpoint_resume_matches_uninterrupted(
+        self, fitted_detector, mini_recording
+    ):
+        segment = mini_recording.data[: 256 * 40]
+        reference = StreamingLaelaps(fitted_detector).run(segment, 300)
+        first = StreamingLaelaps(fitted_detector)
+        cut = 256 * 17 + 131  # mid-block, mid-code
+        head = first.run(segment[:cut], 300)
+        resumed = StreamingLaelaps(fitted_detector).restore_state(
+            first.state_dict()
+        )
+        tail = resumed.run(segment[cut:], 300)
+        assert head + tail == reference
 
     def test_alarm_fires_once_per_episode(
         self, mini_recording, mini_segments, small_config

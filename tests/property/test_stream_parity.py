@@ -1,0 +1,156 @@
+"""Property tests: batch and streaming alarms are bit-identical.
+
+The tentpole contract of the shared :class:`AlarmStateMachine`: for every
+``t_c <= postprocess_len``, any label/delta stream and any chunking —
+one label at a time, ragged chunks, everything at once — the incremental
+path produces exactly the flags and onsets of the batch path, including
+the warm-up rule (first possible alarm at window ``postprocess_len - 1``)
+and checkpoint/restore at arbitrary cut points.  A detector-level layer
+repeats the guarantee end to end: ``detect()`` and streaming ``run()``
+raise alarms at identical times under adversarial raw-sample chunkings.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.detector import LaelapsDetector
+from repro.core.postprocess import (
+    AlarmStateMachine,
+    PostprocessConfig,
+    alarm_flags,
+    flags_to_onsets,
+)
+from repro.core.streaming import StreamingLaelaps
+
+
+@st.composite
+def stream_and_chunking(draw):
+    n = draw(st.integers(0, 120))
+    labels = np.array(
+        draw(st.lists(st.integers(0, 1), min_size=n, max_size=n)),
+        dtype=np.int64,
+    )
+    deltas = np.array(
+        draw(
+            st.lists(
+                st.floats(0, 100, allow_nan=False), min_size=n, max_size=n
+            )
+        )
+    )
+    cuts = draw(
+        st.lists(st.integers(0, max(n, 1)), max_size=8).map(sorted)
+    )
+    postprocess_len = draw(st.integers(1, 12))
+    tc = draw(st.integers(1, postprocess_len))
+    tr = draw(st.floats(0, 50, allow_nan=False))
+    return labels, deltas, cuts, postprocess_len, tc, tr
+
+
+class TestMachineMatchesBatch:
+    @settings(max_examples=150, deadline=None)
+    @given(stream_and_chunking())
+    def test_any_chunking_any_tc(self, case):
+        labels, deltas, cuts, postprocess_len, tc, tr = case
+        batch = alarm_flags(labels, deltas, postprocess_len, tc, tr)
+        machine = AlarmStateMachine(
+            PostprocessConfig(postprocess_len=postprocess_len, tc=tc, tr=tr)
+        )
+        bounds = [0, *cuts, len(labels)]
+        parts = [
+            machine.update(labels[lo:hi], deltas[lo:hi])[0]
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+        ]
+        streamed = (
+            np.concatenate(parts) if parts else np.zeros(0, dtype=bool)
+        )
+        np.testing.assert_array_equal(streamed, batch)
+        # Warm-up contract holds regardless of parameters.
+        assert not batch[: postprocess_len - 1].any()
+
+    @settings(max_examples=100, deadline=None)
+    @given(stream_and_chunking())
+    def test_rising_edges_equal_batch_onsets(self, case):
+        labels, deltas, cuts, postprocess_len, tc, tr = case
+        onsets = flags_to_onsets(
+            alarm_flags(labels, deltas, postprocess_len, tc, tr)
+        )
+        machine = AlarmStateMachine(
+            PostprocessConfig(postprocess_len=postprocess_len, tc=tc, tr=tr)
+        )
+        bounds = [0, *cuts, len(labels)]
+        rising = [
+            machine.update(labels[lo:hi], deltas[lo:hi])[1]
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+        ]
+        streamed = (
+            np.flatnonzero(np.concatenate(rising))
+            if rising
+            else np.zeros(0, dtype=np.int64)
+        )
+        np.testing.assert_array_equal(streamed, onsets)
+
+    @settings(max_examples=100, deadline=None)
+    @given(stream_and_chunking(), st.integers(0, 120))
+    def test_checkpoint_restore_at_any_cut(self, case, cut_raw):
+        labels, deltas, _, postprocess_len, tc, tr = case
+        cut = min(cut_raw, len(labels))
+        config = PostprocessConfig(
+            postprocess_len=postprocess_len, tc=tc, tr=tr
+        )
+        batch = alarm_flags(labels, deltas, postprocess_len, tc, tr)
+        machine = AlarmStateMachine(config)
+        head, _ = machine.update(labels[:cut], deltas[:cut])
+        resumed = AlarmStateMachine(config).restore_state(
+            machine.state_dict()
+        )
+        tail, _ = resumed.update(labels[cut:], deltas[cut:])
+        np.testing.assert_array_equal(np.concatenate([head, tail]), batch)
+
+
+def _with_tc(detector: LaelapsDetector, tc: int) -> LaelapsDetector:
+    """A detector sharing prototypes/t_r but voting with another t_c."""
+    config = dataclasses.replace(detector.config, tc=tc)
+    clone = LaelapsDetector(detector.n_electrodes, config)
+    for label in detector.memory.labels:
+        clone.memory.store(label, detector.memory.prototype(label))
+    clone.tr = detector.tr
+    return clone
+
+
+class TestDetectorLevelParity:
+    """detect() and streaming run() agree end to end."""
+
+    @pytest.mark.parametrize("tc", list(range(1, 11)))
+    def test_every_tc_up_to_postprocess_len(
+        self, fitted_detector, mini_recording, tc
+    ):
+        detector = _with_tc(fitted_detector, tc)
+        segment = mini_recording.data[: 256 * 60]
+        batch = detector.detect(segment)
+        events = StreamingLaelaps(detector).run(segment, 333)
+        stream_alarms = [e.time_s for e in events if e.alarm]
+        np.testing.assert_allclose(stream_alarms, batch.alarm_times)
+
+    @pytest.mark.parametrize(
+        "chunk_samples",
+        [1, 17, 255, 256, 257, 4096],
+        ids=["one-sample", "tiny", "sub-block", "block", "ragged", "multi"],
+    )
+    def test_adversarial_chunkings(
+        self, fitted_detector, mini_recording, chunk_samples
+    ):
+        detector = _with_tc(fitted_detector, 5)
+        seconds = 12 if chunk_samples == 1 else 45
+        segment = mini_recording.data[: 256 * seconds]
+        batch = detector.detect(segment)
+        flags_onsets = flags_to_onsets(batch.flags)
+        events = StreamingLaelaps(detector).run(segment, chunk_samples)
+        stream_alarms = [e.time_s for e in events if e.alarm]
+        np.testing.assert_allclose(stream_alarms, batch.alarm_times)
+        # Onset *indices* agree too (not only times).
+        stream_idx = [i for i, e in enumerate(events) if e.alarm]
+        np.testing.assert_array_equal(stream_idx, flags_onsets)
