@@ -1,0 +1,114 @@
+"""Sharded serving: multi-process gateway vs one in-process manager.
+
+The :class:`~repro.serve.ShardedStreamGateway` exists to put more cores
+behind a session fleet: each shard worker runs its own
+:class:`~repro.core.sessions.StreamSessionManager` in a child process,
+so per-tick encoding and the grouped packed sweep of different shards
+overlap.  This bench drives the same fleet (16 patients, golden-model
+dimension, 0.5 s ticks) through
+
+* one in-process ``StreamSessionManager`` (the PR-2 single-process
+  ceiling), and
+* the gateway with 4 process workers,
+
+checks every event is bit-identical, and reports windows/s for both.
+On a host with >= 4 usable cores the sharded fleet must reach at least
+``MIN_SPEEDUP`` x the single-process throughput; on smaller hosts the
+ratio is reported but not asserted (IPC with no spare cores to hide it
+is a strictly losing trade, and that is expected).
+
+Run directly with ``pytest benchmarks/bench_serve_sharded.py -s``;
+``--smoke`` shrinks the fleet for the CI import-rot job (2 workers,
+tiny dimension — it still exercises the full process transport).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import bench_dim, bench_seconds, smoke_mode
+from repro.core.config import GOLDEN_DIM, LaelapsConfig
+from repro.core.detector import LaelapsDetector
+from repro.core.sessions import StreamSessionManager
+from repro.hdc.backend import pack_bits, random_bits
+from repro.serve import ShardedStreamGateway
+
+DIM = bench_dim(GOLDEN_DIM, smoke=512)
+N_SESSIONS = 4 if smoke_mode() else 16
+N_WORKERS = 2 if smoke_mode() else 4
+SECONDS = bench_seconds(12.0, smoke=2.0)
+FS = 256.0
+N_ELECTRODES = 12
+#: Required sharded-vs-single throughput ratio at 4 workers (>= 4 cores).
+MIN_SPEEDUP = 2.0
+
+
+def _build_fleet():
+    rng = np.random.default_rng(7)
+    detectors = {}
+    signals = {}
+    for i in range(N_SESSIONS):
+        config = LaelapsConfig(
+            dim=DIM, fs=FS, seed=21 + i, backend="packed", tc=6
+        )
+        detector = LaelapsDetector(N_ELECTRODES, config)
+        detector.fit_from_windows(
+            pack_bits(random_bits(DIM, rng)), pack_bits(random_bits(DIM, rng))
+        )
+        detectors[f"p{i}"] = detector
+        signals[f"p{i}"] = rng.standard_normal(
+            (int(SECONDS * FS), N_ELECTRODES)
+        )
+    return detectors, signals
+
+
+def test_sharded_gateway_matches_and_scales():
+    detectors, signals = _build_fleet()
+    chunk = int(FS // 2)  # one 0.5 s block per tick: the real-time shape
+
+    def single_process():
+        manager = StreamSessionManager()
+        for sid, detector in detectors.items():
+            manager.open(sid, detector)
+        return manager.run(signals, chunk)
+
+    def sharded():
+        with ShardedStreamGateway(N_WORKERS, mode="process") as gateway:
+            for sid, detector in detectors.items():
+                gateway.open(sid, detector)
+            return gateway.run(signals, chunk)
+
+    start = time.perf_counter()
+    reference = single_process()
+    single_s = time.perf_counter() - start
+    start = time.perf_counter()
+    events = sharded()
+    sharded_s = time.perf_counter() - start
+    for sid in detectors:
+        assert events[sid] == reference[sid]
+
+    n_windows = sum(len(v) for v in reference.values())
+    assert n_windows > 0
+    speedup = single_s / sharded_s
+    cores = os.cpu_count() or 1
+    print(
+        f"\n[serve sharded] d={DIM}, {N_SESSIONS} sessions x {SECONDS:.0f} s "
+        f"({n_windows} windows), {cores} cores: single process "
+        f"{single_s:.2f} s ({n_windows / single_s:,.0f} windows/s), "
+        f"{N_WORKERS} process workers {sharded_s:.2f} s "
+        f"({n_windows / sharded_s:,.0f} windows/s) = {speedup:.2f}x"
+    )
+    if not smoke_mode() and cores >= N_WORKERS:
+        assert speedup >= MIN_SPEEDUP, (
+            f"sharded fleet only {speedup:.2f}x the single-process "
+            f"throughput at {N_WORKERS} workers (floor {MIN_SPEEDUP}x)"
+        )
+    elif not smoke_mode():
+        print(
+            f"[serve sharded] only {cores} cores available; the "
+            f">={MIN_SPEEDUP}x floor needs {N_WORKERS} — reported, "
+            "not asserted"
+        )

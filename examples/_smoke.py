@@ -1,0 +1,21 @@
+"""Shared smoke-mode switch for the runnable examples.
+
+The CI examples job (and ``tests/test_examples.py``) executes every
+example with ``REPRO_EXAMPLE_SMOKE=1`` so API drift breaks the build
+instead of rotting silently.  In smoke mode each example swaps its
+full-size knobs (dimension, cohort size, sweep lengths) for tiny ones
+via :func:`pick`; the walked code paths are identical, only sizes
+shrink.  Run examples without the variable for the real numbers.
+"""
+
+import os
+
+
+def smoke() -> bool:
+    """Whether the example runs as a CI smoke check."""
+    return os.environ.get("REPRO_EXAMPLE_SMOKE") == "1"
+
+
+def pick(full, tiny):
+    """``tiny`` under ``REPRO_EXAMPLE_SMOKE=1``, else ``full``."""
+    return tiny if smoke() else full

@@ -14,13 +14,15 @@ The full Table I reproduction lives in ``benchmarks/bench_table1.py`` and
 import sys
 import time
 
+from _smoke import pick
+
 from repro.data.cohort import cohort_patient_specs
 from repro.evaluation.table1 import default_methods, run_table1
 
 
 def main() -> int:
-    n_patients = int(sys.argv[1]) if len(sys.argv) > 1 else 4
-    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 2880.0
+    n_patients = int(sys.argv[1]) if len(sys.argv) > 1 else pick(4, 2)
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else pick(2880.0, 5760.0)
 
     specs = cohort_patient_specs()[:n_patients]
     print(f"=== Table I (reduced): {n_patients} patients, "

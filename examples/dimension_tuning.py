@@ -9,6 +9,7 @@ dimension and the memory saving.
 Run:  python examples/dimension_tuning.py
 """
 
+from _smoke import pick
 from repro.core.config import LaelapsConfig
 from repro.core.detector import LaelapsDetector
 from repro.core.tuning import tune_dimension
@@ -19,7 +20,8 @@ from repro.evaluation.runner import finalize_run, run_patient, tune_run_tr
 
 def main() -> int:
     spec = PatientSpec(
-        "DT1", n_electrodes=16, n_seizures=4, recording_hours=0.1,
+        "DT1", n_electrodes=16, n_seizures=4,
+        recording_hours=pick(0.1, 0.05),
         train_seizures=1, seed=23,
     )
     patient = synthesize_patient(spec, hours_scale=1.0, fs=256.0)
@@ -43,7 +45,9 @@ def main() -> int:
 
     print("golden-model descent (Sec. IV-B):")
     result = tune_dimension(
-        evaluate, candidates=(10_000, 8_000, 6_000, 4_000, 2_000, 1_000)
+        evaluate, candidates=pick(
+            (10_000, 8_000, 6_000, 4_000, 2_000, 1_000), (2_000, 1_000)
+        )
     )
     print(f"\nchosen d = {result.chosen_dim} "
           f"(golden {result.golden_dim}; "

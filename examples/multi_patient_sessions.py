@@ -17,6 +17,8 @@ Run:  python examples/multi_patient_sessions.py
 
 import numpy as np
 
+from _smoke import pick
+
 from repro import LaelapsConfig, LaelapsDetector
 from repro.core.persistence import load_sessions, save_sessions
 from repro.core.sessions import StreamSessionManager
@@ -43,7 +45,9 @@ def build_patient(index: int):
     )
     detector = LaelapsDetector(
         n_electrodes,
-        LaelapsConfig(dim=2_000, fs=FS, seed=7 + index, backend=backend),
+        LaelapsConfig(
+            dim=pick(2_000, 512), fs=FS, seed=7 + index, backend=backend
+        ),
     )
     detector.fit(
         recording.data,
@@ -54,7 +58,7 @@ def build_patient(index: int):
 
 
 def main() -> int:
-    n_patients = 4
+    n_patients = pick(4, 2)
     manager = StreamSessionManager()
     signals = {}
     for i in range(n_patients):

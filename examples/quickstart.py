@@ -13,6 +13,8 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
+from _smoke import pick
+
 from repro import LaelapsConfig, LaelapsDetector
 from repro.core.training import TrainingSegments
 from repro.data.synthetic import (
@@ -40,7 +42,7 @@ def main() -> int:
           f"{len(recording.seizures)} annotated seizures")
 
     # 2. Train from the first seizure + one 30 s interictal segment.
-    config = LaelapsConfig(dim=2_000, fs=fs, seed=1)
+    config = LaelapsConfig(dim=pick(2_000, 512), fs=fs, seed=1)
     detector = LaelapsDetector(recording.n_electrodes, config)
     segments = TrainingSegments(
         ictal=((100.0, 125.0),), interictal=(40.0, 70.0)

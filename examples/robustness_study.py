@@ -13,6 +13,8 @@ Run:  python examples/robustness_study.py
 
 import numpy as np
 
+from _smoke import pick
+
 from repro import LaelapsConfig, LaelapsDetector
 from repro.core.training import TrainingSegments
 from repro.data.failures import inject_artifact_bursts, kill_electrodes
@@ -33,7 +35,7 @@ def main() -> int:
         300.0, [SeizurePlan(100.0, 25.0), SeizurePlan(220.0, 25.0)]
     )
     detector = LaelapsDetector(
-        n_electrodes, LaelapsConfig(dim=2_000, fs=fs, seed=4)
+        n_electrodes, LaelapsConfig(dim=pick(2_000, 512), fs=fs, seed=4)
     )
     detector.fit(
         recording.data,
@@ -53,7 +55,7 @@ def main() -> int:
     rng = np.random.default_rng(0)
     print(f"{'dead':>6}  {'fraction':>9}  detected")
     last_ok = 0
-    for n_dead in [0, 2, 4, 8, 12, 16, 20, 24]:
+    for n_dead in pick([0, 2, 4, 8, 12, 16, 20, 24], [0, 8, 24]):
         dead = rng.choice(n_electrodes, size=n_dead, replace=False)
         degraded = kill_electrodes(recording, dead, from_s=150.0)
         ok = detected(degraded)
@@ -63,7 +65,7 @@ def main() -> int:
     print(f"-> detection survives up to ~{last_ok}/{n_electrodes} dead contacts")
 
     print("\n=== artefact-burst stress (broadband, 0.5-3 s) ===")
-    for rate in [0.0, 60.0, 240.0, 960.0]:
+    for rate in pick([0.0, 60.0, 240.0, 960.0], [0.0, 240.0]):
         stressed = inject_artifact_bursts(
             recording, rate_per_hour=rate, amplitude=6.0, seed=2
         )

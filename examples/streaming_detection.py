@@ -11,6 +11,8 @@ Run:  python examples/streaming_detection.py
 
 import numpy as np
 
+from _smoke import pick
+
 from repro import LaelapsConfig, LaelapsDetector
 from repro.core.streaming import StreamingLaelaps
 from repro.core.training import TrainingSegments
@@ -31,7 +33,9 @@ def main() -> int:
         [SeizurePlan(80.0, 25.0), SeizurePlan(180.0, 25.0)],
     )
 
-    detector = LaelapsDetector(24, LaelapsConfig(dim=2_000, fs=fs, seed=2))
+    detector = LaelapsDetector(
+        24, LaelapsConfig(dim=pick(2_000, 512), fs=fs, seed=2)
+    )
     detector.fit(
         recording.data,
         TrainingSegments(ictal=((80.0, 105.0),), interictal=(30.0, 60.0)),

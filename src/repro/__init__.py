@@ -8,7 +8,9 @@ classifies every half second against two prototype hypervectors held in an
 associative memory, and turns the label/confidence stream into alarms with a
 small voting postprocessor.
 
-The package is organised as independent substrates (see ``DESIGN.md``):
+The package is organised as independent substrates (see
+``docs/architecture.md`` for the layer diagram and ``docs/paper_map.md``
+for the per-module paper anchors):
 
 ``repro.signal``
     Filtering, decimation and windowing of raw iEEG.
@@ -18,8 +20,12 @@ The package is organised as independent substrates (see ``DESIGN.md``):
     Binary hypervector backends, item memories, HD arithmetic, the
     spatial/temporal encoders and the associative memory.
 ``repro.core``
-    The Laelaps detector itself: training, inference, postprocessing and
-    per-patient dimension tuning.
+    The Laelaps detector itself: training, inference, postprocessing,
+    per-patient dimension tuning, streaming/multi-session serving and
+    model/session persistence.
+``repro.serve``
+    Sharded serving of session fleets across worker processes: routing,
+    backpressure, rebalancing, fleet checkpoints.
 ``repro.data``
     Synthetic long-term iEEG generation and the 18-patient evaluation
     cohort mirroring Table I of the paper.

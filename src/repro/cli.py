@@ -7,9 +7,12 @@ Usage::
     repro-laelaps fig3
     repro-laelaps scaling
     repro-laelaps sessions [--patients 6] [--backend packed]
+    repro-laelaps serve [--workers 4] [--mode process]
 
-(or ``python -m repro ...``).  Each sub-command prints the corresponding
-table of the paper; see EXPERIMENTS.md for the recorded runs.
+(or ``python -m repro ...``).  ``repro --help`` lists every sub-command
+with a one-line description; unknown sub-commands exit non-zero with
+the list of valid choices.  See EXPERIMENTS.md for the recorded runs
+and ``docs/serving.md`` for the serving demos.
 """
 
 from __future__ import annotations
@@ -91,12 +94,16 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sessions(args: argparse.Namespace) -> int:
-    import numpy as np
+def _train_demo_fleet(
+    n_patients: int, seconds: float, dim: int, backend: str, fs: float
+):
+    """Synthetic patients for the serving demos: fitted detectors + signals.
 
+    Each patient gets two planned seizures — the first is trained on,
+    the second is unseen and should raise the demo's alarms.
+    """
     from repro.core.config import LaelapsConfig
     from repro.core.detector import LaelapsDetector
-    from repro.core.sessions import StreamSessionManager
     from repro.core.training import TrainingSegments
     from repro.data.synthetic import (
         SeizurePlan,
@@ -104,38 +111,30 @@ def _cmd_sessions(args: argparse.Namespace) -> int:
         SyntheticIEEGGenerator,
     )
 
-    fs = 256.0
-    duration = args.seconds
-    manager = StreamSessionManager()
+    detectors = {}
     signals = {}
-    print(
-        f"training {args.patients} patient models "
-        f"(d={args.dim}, {args.backend} backend) ..."
-    )
-    for i in range(args.patients):
+    for i in range(n_patients):
         n_electrodes = (16, 24, 32)[i % 3]
         generator = SyntheticIEEGGenerator(
             n_electrodes, SynthesisParams(fs=fs), seed=1000 + i
         )
         recording = generator.generate(
-            duration,
+            seconds,
             [
-                SeizurePlan(duration * 0.3, 20.0),
-                SeizurePlan(duration * 0.75, 20.0),
+                SeizurePlan(seconds * 0.3, 20.0),
+                SeizurePlan(seconds * 0.75, 20.0),
             ],
         )
         detector = LaelapsDetector(
             n_electrodes,
-            LaelapsConfig(
-                dim=args.dim, fs=fs, seed=3 + i, backend=args.backend
-            ),
+            LaelapsConfig(dim=dim, fs=fs, seed=3 + i, backend=backend),
         )
-        onset = duration * 0.3
+        onset = seconds * 0.3
         detector.fit(
             recording.data,
             TrainingSegments(
                 ictal=((onset, onset + 20.0),),
-                interictal=(duration * 0.05, duration * 0.05 + 30.0),
+                interictal=(seconds * 0.05, seconds * 0.05 + 30.0),
             ),
         )
         detector.tune_tr(
@@ -143,8 +142,28 @@ def _cmd_sessions(args: argparse.Namespace) -> int:
             [(onset, onset + 20.0)],
         )
         patient_id = f"patient-{i:02d}"
-        manager.open(patient_id, detector)
+        detectors[patient_id] = detector
         signals[patient_id] = recording.data
+    return detectors, signals
+
+
+def _cmd_sessions(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.core.sessions import StreamSessionManager
+
+    fs = 256.0
+    duration = args.seconds
+    print(
+        f"training {args.patients} patient models "
+        f"(d={args.dim}, {args.backend} backend) ..."
+    )
+    detectors, signals = _train_demo_fleet(
+        args.patients, duration, args.dim, args.backend, fs
+    )
+    manager = StreamSessionManager()
+    for patient_id, detector in detectors.items():
+        manager.open(patient_id, detector)
     chunk = int(fs // 2)  # one 0.5 s block per tick, as served live
     print(
         f"streaming {args.patients} concurrent sessions "
@@ -165,6 +184,71 @@ def _cmd_sessions(args: argparse.Namespace) -> int:
     print(
         f"\n[{n_windows} windows across {args.patients} sessions in "
         f"{elapsed:.2f} s = {n_windows / max(elapsed, 1e-9):,.0f} windows/s]"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import tempfile
+
+    import numpy as np
+
+    from repro.serve import ShardedStreamGateway
+
+    fs = 256.0
+    duration = args.seconds
+    print(
+        f"training {args.patients} patient models "
+        f"(d={args.dim}, {args.backend} backend) ..."
+    )
+    detectors, signals = _train_demo_fleet(
+        args.patients, duration, args.dim, args.backend, fs
+    )
+    chunk = int(fs // 2)
+    half = int(duration * 0.5 * fs)
+    print(
+        f"serving {args.patients} sessions on {args.workers} "
+        f"{args.mode} workers (0.5 s ticks) ..."
+    )
+    start = time.time()
+    gateway = ShardedStreamGateway(args.workers, mode=args.mode)
+    for patient_id, detector in detectors.items():
+        gateway.open(patient_id, detector)
+    for worker_id, sessions in sorted(gateway.shard_map().items()):
+        print(f"  shard {worker_id}: {len(sessions)} sessions")
+    events = gateway.run(
+        {sid: sig[:half] for sid, sig in signals.items()}, chunk
+    )
+    with tempfile.TemporaryDirectory() as checkpoint_dir:
+        gateway.checkpoint(checkpoint_dir)
+        gateway.shutdown()
+        restored = ShardedStreamGateway.restore(
+            checkpoint_dir, n_workers=args.workers + 1, mode=args.mode
+        )
+    print(
+        f"mid-stream fleet checkpoint -> restored onto "
+        f"{args.workers + 1} workers, streams resume bit-exactly ..."
+    )
+    with restored:
+        second = restored.run(
+            {sid: sig[half:] for sid, sig in signals.items()}, chunk
+        )
+    for patient_id, new_events in second.items():
+        events[patient_id].extend(new_events)
+    elapsed = time.time() - start
+    n_windows = sum(len(v) for v in events.values())
+    for patient_id in sorted(events):
+        alarms = [e.time_s for e in events[patient_id] if e.alarm]
+        print(
+            f"  {patient_id}: {len(events[patient_id])} windows, alarms at "
+            f"{np.round(alarms, 1).tolist()} s "
+            f"(true onsets {duration * 0.3:.0f} s trained, "
+            f"{duration * 0.75:.0f} s unseen)"
+        )
+    print(
+        f"\n[{n_windows} windows across {args.patients} sessions / "
+        f"{args.workers} shards in {elapsed:.2f} s = "
+        f"{n_windows / max(elapsed, 1e-9):,.0f} windows/s]"
     )
     return 0
 
@@ -193,9 +277,17 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point of ``repro-laelaps``."""
     parser = argparse.ArgumentParser(
         prog="repro-laelaps",
-        description="Regenerate the tables and figures of the Laelaps paper",
+        description=(
+            "Regenerate the tables and figures of the Laelaps paper and "
+            "run the serving demos"
+        ),
+        epilog=(
+            "Run `repro <command> --help` for per-command options; see "
+            "docs/ for the architecture, paper map and serving guides."
+        ),
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    sub = parser.add_subparsers(dest="command", required=True,
+                                title="commands")
 
     p1 = sub.add_parser("table1", help="per-patient detection results")
     p1.add_argument("--scale", type=float, default=720.0,
@@ -231,6 +323,24 @@ def main(argv: list[str] | None = None) -> int:
     p5.add_argument("--backend", choices=("unpacked", "packed"),
                     default="packed")
     p5.set_defaults(func=_cmd_sessions)
+
+    p6 = sub.add_parser(
+        "serve",
+        help="sharded multi-worker serving demo (checkpoint + rebalance)",
+    )
+    p6.add_argument("--patients", type=int, default=6,
+                    help="number of concurrent patient streams")
+    p6.add_argument("--workers", type=int, default=2,
+                    help="shard worker pool size")
+    p6.add_argument("--mode", choices=("inline", "process"),
+                    default="process",
+                    help="shard transport (inline = single process)")
+    p6.add_argument("--seconds", type=float, default=120.0,
+                    help="synthetic recording length per patient")
+    p6.add_argument("--dim", type=int, default=2_000)
+    p6.add_argument("--backend", choices=("unpacked", "packed"),
+                    default="packed")
+    p6.set_defaults(func=_cmd_serve)
 
     args = parser.parse_args(argv)
     try:

@@ -5,6 +5,13 @@ associative memory (``repro.hdc``) into a patient-specific detector that
 is trained from one or two seizures plus 30 s of interictal signal, emits
 a label and a confidence score every 0.5 s, and converts those into alarms
 with the t_c / t_r voting postprocessor of Sec. III-C.
+
+Around the detector sit the serving primitives: ``repro.core.streaming``
+(incremental single-stream inference, chunking-invariant),
+``repro.core.sessions`` (N concurrent streams, one grouped sweep per
+tick) and ``repro.core.persistence`` (bit-exact model, session and fleet
+checkpoints).  The sharded multi-process layer lives one package up in
+``repro.serve``.
 """
 
 from repro.core.config import INTERICTAL, ICTAL, LaelapsConfig

@@ -19,6 +19,13 @@ every session's model *plus* its mid-stream state (raw symboliser
 tail, temporal-encoder buffers, alarm state machine, counters), so a
 serving process can checkpoint N concurrent patient streams and resume
 them elsewhere with bit-identical subsequent events.
+
+Two further layers support the sharded serving gateway
+(:mod:`repro.serve`): ``detector_payload``/``detector_from_payload``
+turn a fitted detector into a picklable dict (the unit shipped to shard
+workers and moved between shards on rebalance), and
+``write_fleet_manifest``/``read_fleet_manifest`` record how a fleet
+checkpoint is split across per-worker ``save_sessions`` shard files.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ from repro.core.symbolizers import HVGSymbolizer, LBPSymbolizer
 
 _FORMAT_VERSION = 1
 _SESSIONS_FORMAT_VERSION = 1
+_FLEET_FORMAT_VERSION = 1
 
 
 def _symbolizer_spec(symbolizer) -> dict:
@@ -92,6 +100,38 @@ def _rebuild_detector(
     detector.memory.store(ICTAL, np.asarray(ictal).astype(np.uint8))
     detector.tr = float(spec["tr"])
     return detector
+
+
+def detector_payload(detector: LaelapsDetector) -> dict:
+    """A fitted detector as one picklable, file-free dict.
+
+    The in-memory twin of :func:`save_model`: the JSON-compatible model
+    description plus the two prototype arrays, with nothing written to
+    disk.  This is the unit the sharded serving layer ships to worker
+    processes on :meth:`~repro.serve.ShardedStreamGateway.open` and
+    moves between shards when the fleet rebalances.
+
+    Raises:
+        ValueError: If the detector has not been fitted.
+    """
+    if not detector.is_fitted:
+        raise ValueError("only fitted detectors can be exported")
+    return {
+        **_model_meta(detector),
+        "interictal": detector.memory.prototype(INTERICTAL),
+        "ictal": detector.memory.prototype(ICTAL),
+    }
+
+
+def detector_from_payload(payload: dict) -> LaelapsDetector:
+    """Rebuild a fitted detector from :func:`detector_payload`.
+
+    Item memories regenerate from the payload's config seed, so the
+    rebuilt detector predicts bit-identically to the exported one.
+    """
+    return _rebuild_detector(
+        payload, payload["interictal"], payload["ictal"]
+    )
 
 
 def save_model(detector: LaelapsDetector, path: str | Path) -> Path:
@@ -234,3 +274,53 @@ def load_sessions(path: str | Path):
                 }
             )
     return manager
+
+
+def write_fleet_manifest(
+    path: str | Path,
+    *,
+    shards: dict[str, str],
+    routes: dict[str, str],
+    dim: int,
+) -> Path:
+    """Write the JSON manifest of a sharded fleet checkpoint.
+
+    A fleet checkpoint is a directory of per-worker
+    :func:`save_sessions` shard files plus this manifest tying them
+    together; :meth:`repro.serve.ShardedStreamGateway.restore` reads it
+    back (possibly onto a different worker count).
+
+    Args:
+        path: Manifest file to write (conventionally ``fleet.json``).
+        shards: Mapping of worker id to its shard file name, relative
+            to the manifest's directory.
+        routes: Mapping of session id to the worker id that held it at
+            checkpoint time (informational — restore recomputes routing
+            from its own ring).
+        dim: The fleet's shared hypervector dimension.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "version": _FLEET_FORMAT_VERSION,
+        "shards": dict(shards),
+        "routes": dict(routes),
+        "dim": int(dim),
+    }
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+    return path
+
+
+def read_fleet_manifest(path: str | Path) -> dict:
+    """Read and validate a :func:`write_fleet_manifest` manifest."""
+    path = Path(path)
+    manifest = json.loads(path.read_text())
+    if manifest.get("version") != _FLEET_FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported fleet format version "
+            f"{manifest.get('version')!r}"
+        )
+    for key in ("shards", "routes", "dim"):
+        if key not in manifest:
+            raise ValueError(f"{path}: fleet manifest missing {key!r}")
+    return manifest

@@ -105,7 +105,16 @@ def alarm_flags(
 
 
 def flags_to_onsets(flags: np.ndarray) -> np.ndarray:
-    """Indices where the alarm condition newly becomes true (rising edges)."""
+    """Indices where the alarm condition newly becomes true (rising edges).
+
+    Args:
+        flags: Boolean array ``(n_windows,)`` (as returned by
+            :func:`alarm_flags`).
+
+    Returns:
+        int64 array of window indices where ``flags`` goes False->True
+        (index 0 counts when ``flags[0]`` is True) — the alarm onsets.
+    """
     arr = np.asarray(flags, dtype=bool)
     if arr.size == 0:
         return np.zeros(0, dtype=np.int64)

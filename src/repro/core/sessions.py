@@ -36,6 +36,55 @@ from repro.hdc.associative import grouped_classify_packed
 from repro.hdc.backend import pack_bits
 
 
+def validate_chunk(
+    session_id: str, chunk, n_electrodes: int
+) -> np.ndarray:
+    """Coerce one session's raw chunk to float64 and check its shape.
+
+    The single chunk-shape contract of the serving layers — the manager
+    and the sharded gateway both validate through here, so they can
+    never drift into accepting different inputs.
+
+    Args:
+        session_id: Session key, for the error message.
+        chunk: Raw samples, must be ``(n, n_electrodes)``.
+        n_electrodes: The session's electrode count.
+
+    Returns:
+        float64 array ``(n, n_electrodes)``.
+    """
+    arr = np.asarray(chunk, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[1] != n_electrodes:
+        raise ValueError(
+            f"session {session_id!r} expects (n, {n_electrodes}) "
+            f"chunks, got {arr.shape}"
+        )
+    return arr
+
+
+def lockstep_ticks(signals: Mapping[str, np.ndarray], chunk_samples: int):
+    """Yield per-tick chunk dicts walking many recordings in lockstep.
+
+    Tick ``t`` delivers samples ``[t * chunk_samples, (t + 1) *
+    chunk_samples)`` of every signal that still has data (exhausted
+    signals drop out of later ticks).  Shared by
+    :meth:`StreamSessionManager.run` and
+    :meth:`repro.serve.ShardedStreamGateway.run` so the two layers
+    cannot diverge in tick semantics.
+    """
+    arrays = {
+        session_id: np.asarray(signal)
+        for session_id, signal in signals.items()
+    }
+    longest = max((a.shape[0] for a in arrays.values()), default=0)
+    for start in range(0, longest, chunk_samples):
+        yield {
+            session_id: arr[start : start + chunk_samples]
+            for session_id, arr in arrays.items()
+            if arr.shape[0] > start
+        }
+
+
 class StreamSessionManager:
     """Registry and batched driver of concurrent patient streams.
 
@@ -143,14 +192,9 @@ class StreamSessionManager:
         arrays: dict[str, np.ndarray] = {}
         for session_id in order:
             stream = self.session(session_id)
-            arr = np.asarray(chunks[session_id], dtype=np.float64)
-            expected = stream.detector.n_electrodes
-            if arr.ndim != 2 or arr.shape[1] != expected:
-                raise ValueError(
-                    f"session {session_id!r} expects (n, {expected}) "
-                    f"chunks, got {arr.shape}"
-                )
-            arrays[session_id] = arr
+            arrays[session_id] = validate_chunk(
+                session_id, chunks[session_id], stream.detector.n_electrodes
+            )
         h_blocks: list[tuple[str, np.ndarray]] = []
         events: dict[str, list[StreamEvent]] = {}
         for session_id in order:
@@ -210,22 +254,52 @@ class StreamSessionManager:
         events: dict[str, list[StreamEvent]] = {
             session_id: [] for session_id in signals
         }
-        longest = max(
-            (np.asarray(s).shape[0] for s in signals.values()), default=0
-        )
-        for start in range(0, longest, chunk_samples):
-            tick = {
-                session_id: np.asarray(signal)[start : start + chunk_samples]
-                for session_id, signal in signals.items()
-                if np.asarray(signal).shape[0] > start
-            }
+        for tick in lockstep_ticks(signals, chunk_samples):
             for session_id, new_events in self.push_many(tick).items():
                 events[session_id].extend(new_events)
         return events
 
     # ------------------------------------------------------------------
-    # Checkpointing
+    # Checkpointing and shard migration
     # ------------------------------------------------------------------
+
+    def export_session(self, session_id: str) -> dict:
+        """One session as a portable payload (model + live stream state).
+
+        The shard-migration unit of the serving layer: the returned dict
+        is picklable (plain dicts and numpy arrays), contains the full
+        model (:func:`repro.core.persistence.detector_payload`) and the
+        complete mid-stream state (:meth:`StreamingLaelaps.state_dict`),
+        and round-trips bit-exactly through :meth:`import_session` on
+        any other manager — in another process or on another host.  The
+        session stays open; use :meth:`pop_session` to move it out.
+        """
+        from repro.core.persistence import detector_payload
+
+        stream = self.session(session_id)
+        return {
+            "model": detector_payload(stream.detector),
+            "state": stream.state_dict(),
+        }
+
+    def import_session(self, session_id: str, payload: dict) -> StreamingLaelaps:
+        """Open a session from an :meth:`export_session` payload.
+
+        Rebuilds the detector from the payload's model description and
+        resumes the stream mid-flight; subsequent events are
+        bit-identical to the exporting manager's.
+        """
+        from repro.core.persistence import detector_from_payload
+
+        stream = self.open(session_id, detector_from_payload(payload["model"]))
+        stream.restore_state(payload["state"])
+        return stream
+
+    def pop_session(self, session_id: str) -> dict:
+        """Close a session and return its :meth:`export_session` payload."""
+        payload = self.export_session(session_id)
+        self.close(session_id)
+        return payload
 
     def state_dict(self) -> dict:
         """Per-session live stream state (models excluded).

@@ -5,7 +5,8 @@ electrode count, seizure count, full-scale recording hours, number of
 training seizures — plus the synthesis parameters that model the
 patient's seizure phenotype (rhythm frequency, amplitude) and the number
 of *subtle* (undetectable-by-design) test seizures derived from the
-paper's per-patient sensitivities (DESIGN.md, substitution table).
+paper's per-patient sensitivities (the substitution that keeps the
+synthetic Table I comparable to the published one).
 
 Recording durations are scaled by ``hours_scale`` (default 1/720, i.e.
 one paper-hour becomes five synthetic seconds) but never below what the

@@ -60,7 +60,7 @@ def make_chronological_split(
             (Table I "TrS": 1 or 2).
         interictal_lead_s: How long before the first onset the interictal
             training segment *ends* (10 min in the paper; scaled cohorts
-            use less — see DESIGN.md).
+            use proportionally less).
         interictal_duration_s: Interictal training-segment length (30 s).
         ictal_max_s: Cap on each ictal training segment (the paper uses
             10-30 s depending on seizure duration).

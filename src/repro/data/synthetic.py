@@ -1,7 +1,7 @@
 """Synthetic long-term iEEG generator.
 
-Stands in for the SWEC-ETHZ recordings (see DESIGN.md, substitution
-table).  The generator reproduces the signal properties the paper's
+Stands in for the SWEC-ETHZ recordings (see ``docs/paper_map.md``
+for the substitution rationale).  The generator reproduces the signal properties the paper's
 pipeline actually consumes:
 
 * **Interictal background** — spatially-correlated 1/f ("pink") noise.

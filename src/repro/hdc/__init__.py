@@ -14,7 +14,12 @@ Binary hypervectors are represented in two interchangeable forms:
 (binding = XOR, bundling = componentwise majority) plus permutation and
 Hamming distance; ``repro.hdc.item_memory`` draws the seeded atomic
 vectors; ``repro.hdc.spatial``/``repro.hdc.temporal`` implement the Fig. 1
-encoder; ``repro.hdc.associative`` is the two-prototype associative memory.
+encoder; ``repro.hdc.associative`` is the two-prototype associative memory
+(including the grouped cross-session sweep used by the serving layers).
+The packed half of the substrate never unpacks: ``repro.hdc.backend``
+owns the word layout, ``repro.hdc.bitsliced`` the carry-save counting,
+and ``repro.hdc.spatial_packed``/``repro.hdc.temporal_packed`` mirror the
+encoders bit-exactly in the word domain.
 """
 
 from repro.hdc.associative import (

@@ -54,6 +54,14 @@ def random_bits(
 
     This is the atomic-vector distribution of the paper: binomial with
     p = 0.5 per component.
+
+    Args:
+        shape: Output shape (int or tuple), typically ``(..., d)``.
+        rng: Numpy generator owning the randomness (callers derive it
+            from the config seed, keeping models reproducible).
+
+    Returns:
+        uint8 array of the requested shape with values in {0, 1}.
     """
     return rng.integers(0, 2, size=shape, dtype=np.uint8)
 

@@ -26,6 +26,13 @@ def bind(*vectors: np.ndarray) -> np.ndarray:
     Accepts two or more unpacked (or packed — XOR commutes with packing)
     vectors and reduces them left to right.  Binding is associative,
     commutative, and self-inverse: ``bind(a, bind(a, b)) == b``.
+
+    Args:
+        *vectors: Two or more arrays of identical shape ``(..., d)``
+            (unpacked 0/1) or ``(..., words)`` (packed uint64).
+
+    Returns:
+        Array of the common shape, the XOR reduction.
     """
     if len(vectors) < 2:
         raise ValueError("bind needs at least two vectors")
@@ -75,6 +82,15 @@ def permute(vector: np.ndarray, shift: int = 1) -> np.ndarray:
     the standard HD mechanism for encoding sequence position.  Laelaps
     itself does not need it (the LBP code already encodes local order) but
     it is part of the substrate's algebra and used in tests.
+
+    Args:
+        vector: Array ``(..., d)`` of 0/1 components.
+        shift: Signed rotation amount along the last axis (positive
+            moves components toward higher indices).
+
+    Returns:
+        The rolled array (same shape); see
+        :func:`repro.hdc.backend.permute_packed` for the packed twin.
     """
     arr = np.asarray(vector)
     return np.roll(arr, shift, axis=-1)

@@ -3,7 +3,7 @@
 The paper measures execution time and energy per 0.5 s classification
 event on an Nvidia Jetson TX2 in the Max-Q power mode.  No TX2 is
 available here, so this package provides an analytic substitute (see
-DESIGN.md, substitution table):
+``docs/paper_map.md`` for the substitution rationale):
 
 * :mod:`repro.hw.platform` — the TX2 resource description (SMs, clocks,
   shared memory, DRAM bandwidth, Max-Q power envelope);

@@ -1,0 +1,44 @@
+"""Sharded multi-process serving of patient-stream fleets.
+
+The layer above :class:`~repro.core.sessions.StreamSessionManager` on
+the road to fleet scale (see ``docs/serving.md``):
+
+``repro.serve.hashing``
+    Deterministic consistent-hash ring routing ``session_id`` keys to
+    shard workers with minimal movement on pool changes.
+``repro.serve.worker``
+    Shard workers — one session manager per shard, behind either an
+    in-process transport or a child process with a pipe.
+``repro.serve.gateway``
+    :class:`ShardedStreamGateway`: open/push/push_many/close with the
+    single-manager event semantics, bounded per-session submit queues
+    with explicit :class:`Backpressure`, elastic worker add/remove with
+    bit-exact session migration, and whole-fleet checkpoint/restore
+    built on ``save_sessions``/``load_sessions`` shard files plus a
+    manifest.
+"""
+
+from repro.serve.gateway import (
+    FLEET_MANIFEST,
+    Backpressure,
+    ShardedStreamGateway,
+)
+from repro.serve.hashing import HashRing, stable_hash
+from repro.serve.worker import (
+    InlineShardWorker,
+    ProcessShardWorker,
+    ShardCommandHandler,
+    WorkerError,
+)
+
+__all__ = [
+    "ShardedStreamGateway",
+    "Backpressure",
+    "FLEET_MANIFEST",
+    "HashRing",
+    "stable_hash",
+    "InlineShardWorker",
+    "ProcessShardWorker",
+    "ShardCommandHandler",
+    "WorkerError",
+]

@@ -1,0 +1,86 @@
+"""Consistent-hash routing of session ids onto shard workers.
+
+The gateway must route every ``session_id`` to a worker such that (a)
+the mapping is deterministic across processes and runs (no reliance on
+Python's randomised ``hash``), (b) sessions spread roughly evenly over
+workers, and (c) adding or removing one worker moves only the sessions
+whose arc changed — not a full reshuffle of the fleet.  A classic
+consistent-hash ring with virtual nodes provides all three: each worker
+owns ``replicas`` points on a 64-bit circle, and a key is served by the
+first worker point at or after the key's own hash.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable
+
+
+def stable_hash(key: str) -> int:
+    """Deterministic 64-bit hash of a string (SHA-1 prefix).
+
+    Unlike builtin ``hash``, identical across interpreter runs and
+    worker processes, which is what makes ring assignments reproducible
+    and checkpoint/restore with a different worker count well-defined.
+    """
+    digest = hashlib.sha1(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping string keys to named nodes.
+
+    Args:
+        nodes: Initial node names.
+        replicas: Virtual points per node; more points smooth the load
+            spread at the cost of a larger (still tiny) sorted table.
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._nodes: dict[str, None] = {}  # insertion-ordered set
+        self._points: list[tuple[int, str]] = []  # sorted (hash, node)
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> list[str]:
+        """Node names in insertion order."""
+        return list(self._nodes)
+
+    def _node_points(self, node: str) -> list[tuple[int, str]]:
+        return [
+            (stable_hash(f"{node}#{i}"), node) for i in range(self.replicas)
+        ]
+
+    def add(self, node: str) -> None:
+        """Add a node (its virtual points join the ring)."""
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} is already on the ring")
+        self._nodes[node] = None
+        self._points = sorted(self._points + self._node_points(node))
+
+    def remove(self, node: str) -> None:
+        """Remove a node; its arcs fall to the next points on the ring."""
+        if node not in self._nodes:
+            raise KeyError(f"node {node!r} is not on the ring")
+        del self._nodes[node]
+        self._points = [p for p in self._points if p[1] != node]
+
+    def assign(self, key: str) -> str:
+        """The node serving ``key``: first node point at/after its hash."""
+        if not self._points:
+            raise RuntimeError("cannot assign on an empty ring")
+        idx = bisect.bisect_left(self._points, (stable_hash(key), ""))
+        if idx == len(self._points):
+            idx = 0  # wrap around the circle
+        return self._points[idx][1]

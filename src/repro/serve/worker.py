@@ -1,0 +1,204 @@
+"""Shard workers: one :class:`StreamSessionManager` per worker.
+
+A worker owns a subset of the fleet's sessions and executes a small
+command vocabulary against its manager — open/import/export/pop/close,
+``push_many`` (the per-tick grouped packed sweep over *its* sessions),
+and ``checkpoint`` (its shard of a fleet snapshot, written with
+:func:`repro.core.persistence.save_sessions`).
+
+Two transports implement the same request/reply protocol:
+
+* :class:`InlineShardWorker` runs the manager in the calling process —
+  zero IPC, fully deterministic, the reference for the bit-exactness
+  property tests and the right choice for single-core hosts;
+* :class:`ProcessShardWorker` runs it in a child process behind a pipe,
+  so ticks dispatched to different workers encode and classify in
+  parallel.  Command payloads are plain dicts/numpy arrays and pickle
+  cheaply; results are bit-identical to the inline transport.
+
+The split ``dispatch``/``collect`` API is what buys the parallelism:
+the gateway dispatches one tick to every involved worker first and only
+then collects, so child processes overlap their sweeps.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from multiprocessing.connection import Connection
+
+from repro.core.persistence import detector_from_payload, save_sessions
+from repro.core.sessions import StreamSessionManager
+
+
+class WorkerError(RuntimeError):
+    """A shard worker failed to execute a command (remote traceback)."""
+
+
+class ShardCommandHandler:
+    """Executes the shard command vocabulary against one manager.
+
+    Shared by both transports: the inline worker calls :meth:`handle`
+    directly, the process worker calls it inside the child's serve
+    loop.  Commands mutate only this shard's sessions.
+    """
+
+    def __init__(self) -> None:
+        self.manager = StreamSessionManager()
+
+    def handle(self, op: str, payload: dict):
+        method = getattr(self, f"_op_{op}", None)
+        if method is None:
+            raise WorkerError(f"unknown shard command {op!r}")
+        return method(payload)
+
+    def _op_ping(self, payload: dict) -> str:
+        return "pong"
+
+    def _op_open(self, payload: dict) -> None:
+        self.manager.open(
+            payload["id"], detector_from_payload(payload["model"])
+        )
+
+    def _op_import(self, payload: dict) -> None:
+        self.manager.import_session(payload["id"], payload["session"])
+
+    def _op_export(self, payload: dict) -> dict:
+        return self.manager.export_session(payload["id"])
+
+    def _op_pop(self, payload: dict) -> dict:
+        return self.manager.pop_session(payload["id"])
+
+    def _op_close(self, payload: dict) -> None:
+        self.manager.close(payload["id"])
+
+    def _op_session_ids(self, payload: dict) -> list[str]:
+        return self.manager.session_ids
+
+    def _op_push_many(self, payload: dict) -> dict:
+        return self.manager.push_many(payload["chunks"])
+
+    def _op_checkpoint(self, payload: dict) -> str:
+        return str(save_sessions(self.manager, payload["path"]))
+
+
+class InlineShardWorker:
+    """In-process transport: commands run synchronously, no pickling."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._handler = ShardCommandHandler()
+        self._pending = None
+
+    def request(self, op: str, payload: dict):
+        """Execute one command and return its result."""
+        return self._handler.handle(op, payload)
+
+    def dispatch(self, op: str, payload: dict) -> None:
+        """Start one command (inline: runs it immediately)."""
+        if self._pending is not None:
+            raise RuntimeError(f"worker {self.name}: dispatch already pending")
+        self._pending = (True, self._handler.handle(op, payload))
+
+    def collect(self):
+        """Return the result of the last :meth:`dispatch`."""
+        if self._pending is None:
+            raise RuntimeError(f"worker {self.name}: nothing dispatched")
+        _, result = self._pending
+        self._pending = None
+        return result
+
+    def stop(self) -> None:
+        """Release the shard (inline: nothing to tear down)."""
+        self._pending = None
+
+
+def _mp_context():
+    """Fork where available (cheap, inherits sys.path), else spawn."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX hosts
+        return multiprocessing.get_context("spawn")
+
+
+def _shard_worker_main(conn: Connection) -> None:
+    """Child-process serve loop: recv (op, payload), send (status, value)."""
+    handler = ShardCommandHandler()
+    while True:
+        try:
+            op, payload = conn.recv()
+        except EOFError:  # gateway died without a stop — just exit
+            return
+        if op == "stop":
+            conn.send(("ok", None))
+            return
+        try:
+            conn.send(("ok", handler.handle(op, payload)))
+        except Exception as exc:  # noqa: BLE001 - relayed to the gateway
+            conn.send(
+                ("error", f"{type(exc).__name__}: {exc}\n"
+                          f"{traceback.format_exc()}")
+            )
+
+
+class ProcessShardWorker:
+    """Child-process transport behind a duplex pipe.
+
+    The child runs :func:`_shard_worker_main`; exceptions raised there
+    are relayed back and re-raised here as :class:`WorkerError` with the
+    remote traceback in the message.  ``dispatch``/``collect`` must be
+    strictly paired per worker (the gateway serialises them).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        ctx = _mp_context()
+        self._conn, child = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=_shard_worker_main,
+            args=(child,),
+            name=f"repro-shard-{name}",
+            daemon=True,
+        )
+        self._proc.start()
+        child.close()
+        self._in_flight = 0
+
+    def dispatch(self, op: str, payload: dict) -> None:
+        """Send one command without waiting for its reply."""
+        if self._in_flight:
+            raise RuntimeError(f"worker {self.name}: dispatch already pending")
+        self._conn.send((op, payload))
+        self._in_flight = 1
+
+    def collect(self):
+        """Wait for and return the reply of the last :meth:`dispatch`."""
+        if not self._in_flight:
+            raise RuntimeError(f"worker {self.name}: nothing dispatched")
+        # The request is over either way — a recv failure (dead child)
+        # must not leave _in_flight set, or every later error would
+        # masquerade as 'dispatch already pending'.
+        self._in_flight = 0
+        status, value = self._conn.recv()
+        if status == "error":
+            raise WorkerError(f"shard worker {self.name} failed:\n{value}")
+        return value
+
+    def request(self, op: str, payload: dict):
+        """Execute one command and return its result (round trip)."""
+        self.dispatch(op, payload)
+        return self.collect()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Shut the child down (terminate if it does not exit in time)."""
+        if self._proc.is_alive():
+            try:
+                self._conn.send(("stop", None))
+                self._conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+        self._proc.join(timeout)
+        if self._proc.is_alive():  # pragma: no cover - wedged child
+            self._proc.terminate()
+            self._proc.join(timeout)
+        self._conn.close()

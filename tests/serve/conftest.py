@@ -1,0 +1,49 @@
+"""Shared fixtures for the sharded-serving tests.
+
+Detectors are trained with ``fit_from_windows`` on random prototypes —
+the serving layer only needs *fitted* models with the right shapes, and
+skipping the signal-domain fit keeps the whole directory fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LaelapsConfig
+from repro.core.detector import LaelapsDetector
+from repro.hdc.backend import pack_bits, random_bits
+
+FS = 256.0
+DIM = 512
+N_SESSIONS = 8
+
+
+def build_fleet(
+    n_sessions: int = N_SESSIONS, dim: int = DIM, seconds: float = 6.0
+):
+    """Fitted detectors (mixed electrode counts/backends) + raw signals."""
+    rng = np.random.default_rng(99)
+    detectors = {}
+    signals = {}
+    for i in range(n_sessions):
+        n_electrodes = (8, 12, 16, 10)[i % 4]
+        backend = ("packed", "unpacked")[i % 2]
+        config = LaelapsConfig(
+            dim=dim, fs=FS, seed=11 + i, backend=backend, tc=6
+        )
+        detector = LaelapsDetector(n_electrodes, config)
+        detector.fit_from_windows(
+            pack_bits(random_bits(dim, rng)), pack_bits(random_bits(dim, rng))
+        )
+        detectors[f"patient-{i}"] = detector
+        # Ragged lengths so sessions exhaust at different ticks.
+        n_samples = int(seconds * FS) + 37 * i
+        signals[f"patient-{i}"] = rng.standard_normal(
+            (n_samples, n_electrodes)
+        )
+    return detectors, signals
+
+
+@pytest.fixture(scope="package")
+def fleet():
+    """Eight mixed-backend patients shared by the serving tests."""
+    return build_fleet()

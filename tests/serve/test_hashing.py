@@ -1,0 +1,69 @@
+"""Tests for the consistent-hash ring (repro.serve.hashing)."""
+
+import pytest
+
+from repro.serve.hashing import HashRing, stable_hash
+
+KEYS = [f"patient-{i:03d}" for i in range(240)]
+
+
+class TestStableHash:
+    def test_deterministic_and_64_bit(self):
+        assert stable_hash("patient-7") == stable_hash("patient-7")
+        assert 0 <= stable_hash("x") < 2**64
+
+    def test_distinct_keys_differ(self):
+        assert stable_hash("a") != stable_hash("b")
+
+
+class TestRing:
+    def test_assignment_is_deterministic(self):
+        a = HashRing(["w0", "w1", "w2"])
+        b = HashRing(["w0", "w1", "w2"])
+        assert [a.assign(k) for k in KEYS] == [b.assign(k) for k in KEYS]
+
+    def test_every_worker_gets_load(self):
+        ring = HashRing(["w0", "w1", "w2", "w3"])
+        owners = {ring.assign(k) for k in KEYS}
+        assert owners == {"w0", "w1", "w2", "w3"}
+
+    def test_adding_a_node_only_moves_keys_to_it(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        before = {k: ring.assign(k) for k in KEYS}
+        ring.add("w3")
+        after = {k: ring.assign(k) for k in KEYS}
+        moved = {k for k in KEYS if before[k] != after[k]}
+        assert moved  # the new node captures *some* arcs
+        assert all(after[k] == "w3" for k in moved)
+
+    def test_removing_a_node_keeps_other_assignments(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        before = {k: ring.assign(k) for k in KEYS}
+        ring.remove("w1")
+        after = {k: ring.assign(k) for k in KEYS}
+        for k in KEYS:
+            if before[k] != "w1":
+                assert after[k] == before[k]
+            else:
+                assert after[k] in {"w0", "w2"}
+
+    def test_membership_and_nodes_order(self):
+        ring = HashRing(["b", "a"])
+        assert ring.nodes == ["b", "a"]
+        assert "a" in ring and "c" not in ring
+        assert len(ring) == 2
+
+    def test_duplicate_and_unknown_nodes_rejected(self):
+        ring = HashRing(["w0"])
+        with pytest.raises(ValueError):
+            ring.add("w0")
+        with pytest.raises(KeyError):
+            ring.remove("ghost")
+
+    def test_empty_ring_cannot_assign(self):
+        with pytest.raises(RuntimeError):
+            HashRing().assign("k")
+
+    def test_replicas_validated(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)

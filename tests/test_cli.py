@@ -52,11 +52,51 @@ class TestTable1Command(object):
         assert "laelaps" in out
 
 
+class TestServingCommands:
+    def test_sessions_demo_tiny(self, capsys):
+        assert main([
+            "sessions", "--patients", "2", "--seconds", "90",
+            "--dim", "256",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "patient-00" in out and "windows/s" in out
+
+    def test_serve_demo_tiny_inline(self, capsys):
+        assert main([
+            "serve", "--patients", "2", "--workers", "2",
+            "--mode", "inline", "--seconds", "90", "--dim", "256",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "shard w0" in out
+        assert "checkpoint" in out
+        assert "windows/s" in out
+
+
+COMMANDS = ("table1", "table2", "fig3", "scaling", "sessions", "serve")
+
+
 class TestArgumentErrors:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
 
-    def test_unknown_command_exits(self):
-        with pytest.raises(SystemExit):
+    def test_unknown_command_exits_nonzero_with_choices(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
             main(["fig9"])
+        assert exc_info.value.code != 0
+        err = capsys.readouterr().err
+        assert "fig9" in err
+        # The error names every valid sub-command so the fix is obvious.
+        for command in COMMANDS:
+            assert command in err
+
+    def test_help_enumerates_all_commands(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--help"])
+        assert exc_info.value.code == 0
+        out = capsys.readouterr().out
+        for command in COMMANDS:
+            assert command in out
+        # One-line descriptions ride along in the listing.
+        assert "sharded multi-worker serving demo" in out
+        assert "multi-patient stream-serving demo" in out

@@ -1,0 +1,53 @@
+"""Smoke tests executing every runnable example under a tiny config.
+
+Each ``examples/*.py`` (underscore-prefixed helpers excluded) runs as a
+subprocess with ``REPRO_EXAMPLE_SMOKE=1`` (see ``examples/_smoke.py``),
+so any drift between the examples and the current API fails CI instead
+of rotting silently.  Examples run from a temp directory so artefacts
+they write (e.g. checkpoints) never land in the repository.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted(
+    p
+    for p in (REPO_ROOT / "examples").glob("*.py")
+    if not p.name.startswith("_")
+)
+
+
+def test_every_example_is_collected():
+    # A new example is covered automatically; an emptied glob would
+    # silently skip everything, so pin the floor.
+    assert len(EXAMPLES) >= 8
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_in_smoke_mode(example, tmp_path):
+    env = os.environ.copy()
+    env["REPRO_EXAMPLE_SMOKE"] = "1"
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    result = subprocess.run(
+        [sys.executable, str(example)],
+        cwd=tmp_path,  # artefacts (checkpoints, ...) land here
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"{example.name} exited with {result.returncode}\n"
+        f"--- stdout ---\n{result.stdout}\n"
+        f"--- stderr ---\n{result.stderr}"
+    )
