@@ -1,0 +1,139 @@
+"""Fused encode→classify engine vs the batched packed sweep.
+
+The ``packed-fused`` engine promises two wins over PR 1's batched
+packed path, both measured here at the golden-model dimension d = 10000:
+
+* **single-window streaming classify** — the per-tick shape of a live
+  stream (one window in, one label out).  The general packed path
+  re-validates, re-packs and rebuilds its label table on every call;
+  the fused engine XORs into a preallocated scratch against the
+  prototype block and reduces once.  Asserted to be at least 1.2x the
+  packed engine (report-only where timing is too noisy to trust, e.g.
+  a 1-core CI container);
+* **fused block sweep** — a whole recording classified block by block
+  without materialising the ``(n_windows, words)`` H array; checked
+  bit-exact and reported alongside the unfused encode-then-classify
+  packed pipeline.
+
+Run directly with ``pytest benchmarks/bench_engine_fused.py -s``;
+``--smoke`` shrinks the sizes for the CI import-rot job.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import bench_dim, bench_seconds, smoke_mode
+from repro.core.config import GOLDEN_DIM, LaelapsConfig
+from repro.core.detector import LaelapsDetector
+from repro.hdc.backend import random_bits
+
+DIM = bench_dim(GOLDEN_DIM, smoke=512)
+FS = 256.0
+N_ELECTRODES = 32
+#: Acceptance floor: fused single-window classify vs the packed engine.
+MIN_SPEEDUP = 1.2
+#: Streaming-classify repetitions (single windows, like live ticks).
+N_TICKS = 64 if smoke_mode() else 3_000
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _fitted(backend: str) -> LaelapsDetector:
+    detector = LaelapsDetector(
+        N_ELECTRODES,
+        LaelapsConfig(dim=DIM, fs=FS, seed=7, backend=backend),
+    )
+    detector.fit_from_windows(
+        random_bits((4, DIM), np.random.default_rng(1)),
+        random_bits((4, DIM), np.random.default_rng(2)),
+    )
+    return detector
+
+
+def test_fused_single_window_streaming_classify():
+    """The fused scratch query beats the general packed sweep per tick."""
+    rng = np.random.default_rng(0)
+    packed = _fitted("packed")
+    fused = _fitted("packed-fused")
+    windows = packed.engine.pack_queries(random_bits((N_TICKS, DIM), rng))
+
+    def drive(detector: LaelapsDetector):
+        classify = detector.engine.classify_windows
+        memory = detector.memory
+        for i in range(N_TICKS):
+            classify(memory, windows[i : i + 1])
+
+    for i in range(N_TICKS):  # bit-exactness before timing
+        labels_p, dists_p = packed.engine.classify_windows(
+            packed.memory, windows[i : i + 1]
+        )
+        labels_f, dists_f = fused.engine.classify_windows(
+            fused.memory, windows[i : i + 1]
+        )
+        np.testing.assert_array_equal(labels_f, labels_p)
+        np.testing.assert_array_equal(dists_f, dists_p)
+
+    repeats = 1 if smoke_mode() else 5
+    packed_s = _best_of(repeats, lambda: drive(packed))
+    fused_s = _best_of(repeats, lambda: drive(fused))
+    speedup = packed_s / fused_s
+    cores = os.cpu_count() or 1
+    print(
+        f"\n[fused streaming classify] d={DIM}, {N_TICKS} single-window "
+        f"ticks: packed {packed_s * 1e3:.1f} ms "
+        f"({N_TICKS / packed_s:,.0f}/s), fused {fused_s * 1e3:.1f} ms "
+        f"({N_TICKS / fused_s:,.0f}/s) -> {speedup:.2f}x"
+    )
+    if smoke_mode():
+        return
+    if cores < 2:
+        print(
+            f"[fused streaming classify] only {cores} core(s): timing too "
+            f"noisy to hold the >={MIN_SPEEDUP}x floor — reported, not "
+            "asserted"
+        )
+        return
+    assert speedup >= MIN_SPEEDUP, (
+        f"fused single-window classify only {speedup:.2f}x the packed "
+        f"engine (floor {MIN_SPEEDUP}x)"
+    )
+
+
+def test_fused_block_sweep_recording():
+    """Whole-recording sweep: fused vs encode-then-classify, bit-exact."""
+    seconds = bench_seconds(20.0, smoke=2.0)
+    rng = np.random.default_rng(3)
+    signal = rng.standard_normal((int(seconds * FS), N_ELECTRODES))
+    packed = _fitted("packed")
+    fused = _fitted("packed-fused")
+
+    preds_packed = packed.predict(signal)
+    preds_fused = fused.predict(signal)
+    np.testing.assert_array_equal(preds_fused.labels, preds_packed.labels)
+    np.testing.assert_array_equal(
+        preds_fused.distances, preds_packed.distances
+    )
+    assert len(preds_fused) > 0
+
+    repeats = 1 if smoke_mode() else 3
+    packed_s = _best_of(repeats, lambda: packed.predict(signal))
+    fused_s = _best_of(repeats, lambda: fused.predict(signal))
+    n_windows = len(preds_fused)
+    print(
+        f"\n[fused block sweep] d={DIM}, {seconds:.0f} s of signal "
+        f"({n_windows} windows): packed encode+classify {packed_s:.2f} s, "
+        f"fused sweep {fused_s:.2f} s ({packed_s / fused_s:.2f}x), "
+        f"peak H scratch {min(n_windows, 512)} windows instead of "
+        f"{n_windows}"
+    )

@@ -6,7 +6,8 @@ Usage::
     repro-laelaps table2
     repro-laelaps fig3
     repro-laelaps scaling
-    repro-laelaps sessions [--patients 6] [--backend packed]
+    repro-laelaps backends
+    repro-laelaps sessions [--patients 6] [--backend auto]
     repro-laelaps serve [--workers 4] [--mode process]
 
 (or ``python -m repro ...``).  ``repro --help`` lists every sub-command
@@ -22,6 +23,7 @@ import sys
 import time
 
 from repro.evaluation.report import render_table
+from repro.hdc.engine import backend_choices
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -253,6 +255,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_backends(args: argparse.Namespace) -> int:
+    from repro.hdc.engine import (
+        AUTO_ENGINE,
+        engine_capabilities,
+        resolve_engine_name,
+    )
+
+    rows = [
+        [
+            cap["name"],
+            cap["window_form"],
+            cap["width_at_dim"],
+            "yes" if cap["fused"] else "no",
+            cap["summary"],
+        ]
+        for cap in engine_capabilities(args.dim)
+    ]
+    table = render_table(
+        ["Engine", "Window form", f"width@d={args.dim}", "Fused",
+         "Capabilities"],
+        rows,
+        title="Registered compute engines (LaelapsConfig.backend values)",
+    )
+    print(table)
+    print(
+        f"\n'{AUTO_ENGINE}' resolves to "
+        f"'{resolve_engine_name(AUTO_ENGINE)}' on this host; all engines "
+        f"produce bit-identical labels and confidence scores."
+    )
+    return 0
+
+
 def _cmd_scaling(args: argparse.Namespace) -> int:
     from repro.hw.energy import electrode_scaling
 
@@ -295,9 +329,10 @@ def main(argv: list[str] | None = None) -> int:
     p1.add_argument("--fs", type=float, default=256.0)
     p1.add_argument("--dim", type=int, default=1_000)
     p1.add_argument("--methods", default="laelaps,svm,cnn,lstm")
-    p1.add_argument("--backend", choices=("unpacked", "packed"),
+    p1.add_argument("--backend", choices=backend_choices(),
                     default="unpacked",
-                    help="Laelaps inference backend (bit-exact either way)")
+                    help="Laelaps compute engine (bit-exact on every "
+                         "engine; see `repro backends`)")
     p1.add_argument("--verbose", action="store_true")
     p1.set_defaults(func=_cmd_table1)
 
@@ -311,6 +346,14 @@ def main(argv: list[str] | None = None) -> int:
     p4 = sub.add_parser("scaling", help="electrode-count scaling sweep")
     p4.set_defaults(func=_cmd_scaling)
 
+    pb = sub.add_parser(
+        "backends",
+        help="list registered compute engines (capabilities, word layout)",
+    )
+    pb.add_argument("--dim", type=int, default=10_000,
+                    help="dimension for the reported window widths")
+    pb.set_defaults(func=_cmd_backends)
+
     p5 = sub.add_parser(
         "sessions",
         help="multi-patient stream-serving demo (batched sweeps)",
@@ -320,8 +363,9 @@ def main(argv: list[str] | None = None) -> int:
     p5.add_argument("--seconds", type=float, default=120.0,
                     help="synthetic recording length per patient")
     p5.add_argument("--dim", type=int, default=2_000)
-    p5.add_argument("--backend", choices=("unpacked", "packed"),
-                    default="packed")
+    p5.add_argument("--backend", choices=backend_choices(),
+                    default="auto",
+                    help="compute engine of the demo detectors")
     p5.set_defaults(func=_cmd_sessions)
 
     p6 = sub.add_parser(
@@ -338,8 +382,9 @@ def main(argv: list[str] | None = None) -> int:
     p6.add_argument("--seconds", type=float, default=120.0,
                     help="synthetic recording length per patient")
     p6.add_argument("--dim", type=int, default=2_000)
-    p6.add_argument("--backend", choices=("unpacked", "packed"),
-                    default="packed")
+    p6.add_argument("--backend", choices=backend_choices(),
+                    default="auto",
+                    help="compute engine of the demo detectors")
     p6.set_defaults(func=_cmd_serve)
 
     args = parser.parse_args(argv)

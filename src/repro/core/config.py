@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.hdc.engine import backend_choices, resolve_engine_name
 from repro.lbp.codes import LBPConfig
 from repro.signal.windows import WindowSpec
 
@@ -17,11 +18,14 @@ GOLDEN_DIM = 10_000
 #: Paper floor for the hypervector dimension.
 MIN_DIM = 1_000
 
-#: Inference backends of the detector: ``"unpacked"`` works on uint8
-#: 0/1 component arrays, ``"packed"`` stays in uint64 words end to end
-#: (the hardware-faithful layout of the paper's GPU kernels).  Both are
-#: bit-exact against each other.
-BACKENDS = ("unpacked", "packed")
+#: Valid ``backend`` values at import time: the engines registered in
+#: :mod:`repro.hdc.engine` plus the ``auto`` selector.  Validation
+#: follows the *live* registry (an engine registered later is accepted
+#: even though this snapshot omits it); ``repro backends`` or
+#: :func:`repro.hdc.engine.backend_choices` always reflect the current
+#: set.  All engines are bit-exact against each other; they differ only
+#: in representation and speed.
+BACKENDS = backend_choices()
 
 
 @dataclass(frozen=True)
@@ -46,9 +50,13 @@ class LaelapsConfig:
             :func:`repro.core.postprocess.tune_tr`.
         seed: Master seed; item-memory seeds are derived from it, so a
             config fully determines the model.
-        backend: ``"unpacked"`` (uint8 component arrays, the library
-            default) or ``"packed"`` (uint64 words end to end); the two
-            backends produce bit-identical labels and confidence scores.
+        backend: Name of the compute engine running the pipeline — any
+            name registered in :mod:`repro.hdc.engine` (``unpacked``,
+            the word-domain ``packed``, the fused ``packed-fused``) or
+            ``auto`` to pick the fastest at detector construction.
+            Every engine produces bit-identical labels and confidence
+            scores; see :data:`BACKENDS` and the ``repro backends``
+            command.
     """
 
     dim: int = GOLDEN_DIM
@@ -65,10 +73,7 @@ class LaelapsConfig:
     def __post_init__(self) -> None:
         if self.dim < 2:
             raise ValueError(f"dim must be >= 2, got {self.dim}")
-        if self.backend not in BACKENDS:
-            raise ValueError(
-                f"backend must be one of {BACKENDS}, got {self.backend!r}"
-            )
+        resolve_engine_name(self.backend)  # validate against the registry
         LBPConfig(length=self.lbp_length)  # validate
         if self.fs <= 0:
             raise ValueError(f"fs must be positive, got {self.fs}")

@@ -1,10 +1,11 @@
 """The Laelaps detector: end-to-end pipeline of Fig. 1.
 
-``LaelapsDetector`` owns the two item memories, the spatial/temporal HD
-encoders, the two-prototype associative memory and the postprocessor.  It
-is trained from explicit time segments (one or two seizures plus 30 s of
-interictal signal) and then classifies arbitrarily long recordings at the
-0.5 s label rate.
+``LaelapsDetector`` owns the two item memories, a named compute engine
+(:mod:`repro.hdc.engine` — the single dispatch point for the encoder and
+associative-memory representations), the two-prototype associative
+memory and the postprocessor.  It is trained from explicit time segments
+(one or two seizures plus 30 s of interictal signal) and then classifies
+arbitrarily long recordings at the 0.5 s label rate.
 """
 
 from __future__ import annotations
@@ -28,17 +29,11 @@ from repro.core.training import (
     window_decision_times,
     windows_in_segments,
 )
-from repro.hdc.associative import (
-    AssociativeMemory,
-    PackedPrototypeAccumulator,
-    PrototypeAccumulator,
-)
-from repro.hdc.backend import hamming_distance, packed_words
+from repro.hdc.associative import AssociativeMemory
+from repro.hdc.backend import hamming_distance
+from repro.hdc.engine import build_engine
 from repro.hdc.item_memory import ItemMemory
-from repro.hdc.spatial import SpatialEncoder
-from repro.hdc.spatial_packed import PackedSpatialEncoder
-from repro.hdc.temporal import TemporalEncoder
-from repro.hdc.temporal_packed import PackedTemporalEncoder
+from repro.hdc.temporal import WindowBundler
 
 
 @dataclass(frozen=True)
@@ -115,15 +110,15 @@ class LaelapsDetector:
         self.electrode_memory = ItemMemory(
             n_electrodes, cfg.dim, cfg.electrode_memory_seed
         )
-        self.backend = cfg.backend
-        if self.backend == "packed":
-            self.spatial = PackedSpatialEncoder(
-                self.code_memory, self.electrode_memory
-            )
-        else:
-            self.spatial = SpatialEncoder(
-                self.code_memory, self.electrode_memory
-            )
+        #: The compute engine running every encode/train/classify path.
+        #: ``config.backend`` may name it indirectly (``auto``);
+        #: :attr:`backend` always holds the resolved engine name.
+        self.engine = build_engine(
+            cfg.backend, self.code_memory, self.electrode_memory,
+            cfg.window_spec,
+        )
+        self.backend = self.engine.name
+        self.spatial = self.engine.spatial
         self.memory = AssociativeMemory(cfg.dim)
         self.tr = cfg.tr
         self.fit_report: FitReport | None = None
@@ -146,52 +141,20 @@ class LaelapsDetector:
             )
         return arr
 
-    def temporal_encoder(self) -> TemporalEncoder | PackedTemporalEncoder:
-        """A fresh streaming window encoder for the active backend."""
-        if self.backend == "packed":
-            return PackedTemporalEncoder(self.spatial, self.config.window_spec)
-        return TemporalEncoder(self.spatial, self.config.window_spec)
+    def temporal_encoder(self) -> WindowBundler:
+        """A fresh streaming window encoder in the engine's domain."""
+        return self.engine.temporal_encoder()
 
     def encode(self, signal: np.ndarray) -> np.ndarray:
-        """Encode a recording into backend-native H vectors.
+        """Encode a recording into engine-native H vectors.
 
-        Returns ``(n_windows, d)`` uint8 on the unpacked backend and
-        ``(n_windows, packed_words(d))`` uint64 on the packed backend;
-        either form is accepted by :meth:`predict_from_windows`.
+        The output shape and dtype are the engine's native window form
+        (see ``repro backends``); every form is accepted by
+        :meth:`predict_from_windows`, whichever engine produced it.
         """
         arr = self._validate_signal(signal)
         codes = self.symbolizer.codes(arr)
         return self.temporal_encoder().encode_all(codes)
-
-    def _windows_2d(self, h: np.ndarray) -> np.ndarray:
-        """Validate H vectors in either form, returning a 2-D array.
-
-        Dispatch is by trailing width: ``d`` columns means unpacked,
-        ``packed_words(d)`` columns means packed (the two can never
-        coincide for ``d >= 2``).
-        """
-        arr = np.atleast_2d(np.asarray(h))
-        dim = self.config.dim
-        if arr.ndim != 2 or arr.shape[1] not in (dim, packed_words(dim)):
-            raise ValueError(
-                f"H vectors must have {dim} (unpacked) or "
-                f"{packed_words(dim)} (packed) columns, got shape {arr.shape}"
-            )
-        if arr.shape[1] == dim:
-            return arr.astype(np.uint8, copy=False)
-        return arr.astype(np.uint64, copy=False)
-
-    @staticmethod
-    def _is_packed_windows(arr: np.ndarray) -> bool:
-        return arr.dtype == np.uint64
-
-    def _classify_windows(
-        self, arr: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Batched nearest-prototype sweep for either window form."""
-        if self._is_packed_windows(arr):
-            return self.memory.classify_packed(arr)
-        return self.memory.classify(arr)
 
     def window_times(self, n_windows: int) -> np.ndarray:
         """Decision times (s) for ``n_windows`` windows of a recording."""
@@ -216,23 +179,17 @@ class LaelapsDetector:
     ) -> "LaelapsDetector":
         """Train the associative memory from already-encoded H vectors.
 
-        Accepts windows in either form (unpacked uint8 ``(k, d)`` or
-        packed uint64 ``(k, words)``), matching whatever
-        :meth:`encode` produced.
+        Accepts windows in any engine's window form (unpacked uint8
+        ``(k, d)`` or word-packed uint64 ``(k, words)``), matching
+        whatever :meth:`encode` produced.
         """
-        ictal_arr = self._windows_2d(ictal_h)
-        inter_arr = self._windows_2d(interictal_h)
+        ictal_arr = self.engine.windows_2d(ictal_h)
+        inter_arr = self.engine.windows_2d(interictal_h)
         if ictal_arr.shape[0] == 0 or inter_arr.shape[0] == 0:
             raise ValueError("both classes need at least one H vector")
-        if self._is_packed_windows(inter_arr):
-            self.memory.train_packed(INTERICTAL, inter_arr)
-        else:
-            self.memory.train(INTERICTAL, inter_arr)
-        if self._is_packed_windows(ictal_arr):
-            self.memory.train_packed(ICTAL, ictal_arr)
-        else:
-            self.memory.train(ICTAL, ictal_arr)
-        _, distances = self._classify_windows(ictal_arr)
+        self.engine.train(self.memory, INTERICTAL, inter_arr)
+        self.engine.train(self.memory, ICTAL, ictal_arr)
+        _, distances = self.engine.classify_windows(self.memory, ictal_arr)
         report = FitReport(
             n_ictal_windows=ictal_arr.shape[0],
             n_interictal_windows=inter_arr.shape[0],
@@ -266,12 +223,8 @@ class LaelapsDetector:
         """
         arr = self._validate_signal(signal)
         margin = self.symbolizer.margin
-        packed = self.backend == "packed"
-        accumulator = (
-            PackedPrototypeAccumulator if packed else PrototypeAccumulator
-        )
-        store = self.memory.store_packed if packed else self.memory.store
-        ictal_acc = accumulator(self.config.dim)
+        engine = self.engine
+        ictal_acc = engine.accumulator()
         for segment in segments.ictal:
             sl = segment_slice(segment, self.config.fs, arr.shape[0], margin)
             h = self.encode(arr[sl])
@@ -286,15 +239,19 @@ class LaelapsDetector:
         inter_h = self.encode(arr[inter_sl])
         if inter_h.shape[0] == 0:
             raise ValueError("interictal segment too short for one window")
-        store(INTERICTAL, accumulator(self.config.dim).add(inter_h).finalize())
-        store(ICTAL, ictal_acc.finalize())
+        engine.store(
+            self.memory,
+            INTERICTAL,
+            engine.accumulator().add(inter_h).finalize(),
+        )
+        engine.store(self.memory, ICTAL, ictal_acc.finalize())
         # Re-derive the fit report against the final prototypes.
         ictal_h = [
             self.encode(arr[segment_slice(s, self.config.fs, arr.shape[0], margin)])
             for s in segments.ictal
         ]
         all_ictal = np.concatenate(ictal_h, axis=0)
-        _, distances = self._classify_windows(all_ictal)
+        _, distances = self.engine.classify_windows(self.memory, all_ictal)
         self.fit_report = FitReport(
             n_ictal_windows=int(all_ictal.shape[0]),
             n_interictal_windows=int(inter_h.shape[0]),
@@ -315,11 +272,24 @@ class LaelapsDetector:
     # ------------------------------------------------------------------
 
     def predict(self, signal: np.ndarray) -> WindowPredictions:
-        """Classify every analysis window of a recording."""
+        """Classify every analysis window of a recording.
+
+        Runs the engine's :meth:`~repro.hdc.engine.ComputeEngine.encode_classify`
+        sweep — on a fused engine, windows are classified as their blocks
+        complete and the full ``(n_windows, ...)`` H array is never
+        materialised.
+        """
         if not self.is_fitted:
             raise RuntimeError("detector must be fitted before predicting")
-        h = self.encode(signal)
-        return self.predict_from_windows(h)
+        arr = self._validate_signal(signal)
+        codes = self.symbolizer.codes(arr)
+        labels, distances = self.engine.encode_classify(self.memory, codes)
+        return WindowPredictions(
+            labels=labels,
+            distances=distances,
+            deltas=delta_scores(distances),
+            times=self.window_times(labels.shape[0]),
+        )
 
     def classify_from_windows(
         self, h: np.ndarray
@@ -344,17 +314,17 @@ class LaelapsDetector:
                 np.zeros((0, 2), dtype=np.int64),
                 np.zeros(0),
             )
-        labels, distances = self._classify_windows(self._windows_2d(h_arr))
+        labels, distances = self.engine.classify_windows(self.memory, h_arr)
         return labels, distances, delta_scores(distances)
 
     def predict_from_windows(self, h: np.ndarray) -> WindowPredictions:
         """Classify already-encoded H vectors in one batched sweep.
 
-        Accepts unpacked ``(n, d)`` uint8 or packed ``(n, words)``
-        uint64 windows; the whole batch is scored against both
-        prototypes in a single vectorized Hamming query, never one
-        window at a time.  Decision times are those of a recording
-        starting at window zero — mid-stream chunks must use
+        Accepts any engine's window form (unpacked ``(n, d)`` uint8 or
+        word-packed ``(n, words)`` uint64); the whole batch is scored
+        against both prototypes in a single vectorized Hamming query,
+        never one window at a time.  Decision times are those of a
+        recording starting at window zero — mid-stream chunks must use
         :meth:`classify_from_windows` and their own clock.
         """
         labels, distances, deltas = self.classify_from_windows(h)

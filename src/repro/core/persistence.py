@@ -7,11 +7,15 @@ point that the whole model fits comfortably in on-chip memory).
 ``save_model``/``load_model`` round-trip a fitted detector through a
 single ``.npz`` file; the reloaded detector is bit-exact.
 
-The inference backend travels inside the persisted config: a model
-saved from a ``backend="packed"`` detector reloads as a packed
-detector (prototypes are serialised in the unpacked inspection form
-either way — the packed words are re-derived on load, and the two
-backends are bit-exact, so older unpacked archives load unchanged).
+The compute engine travels as an explicit ``engine`` tag next to the
+persisted config: the tag holds the *resolved* engine name (a detector
+configured with ``backend="auto"`` saves the concrete engine it ran
+on), so a model reopens on the engine that wrote it regardless of what
+``auto`` would pick on the loading host.  Prototypes are serialised in
+the unpacked inspection form either way — the word forms are re-derived
+on load, and all engines are bit-exact, so archives move freely between
+engines.  Payloads from before the engine registry carry no tag and
+fall back to the config's legacy backend field.
 
 ``save_sessions``/``load_sessions`` extend the same idea to a live
 :class:`~repro.core.sessions.StreamSessionManager`: one ``.npz`` holds
@@ -80,6 +84,9 @@ def _model_meta(detector: LaelapsDetector) -> dict:
     return {
         "n_electrodes": detector.n_electrodes,
         "config": asdict(detector.config),
+        # The resolved engine name (never "auto"): reload is pinned to
+        # the engine that actually ran, on any host.
+        "engine": detector.engine.name,
         "tr": detector.tr,
         "symbolizer": _symbolizer_spec(detector.symbolizer),
     }
@@ -89,9 +96,19 @@ def _rebuild_detector(
     spec: dict, interictal: np.ndarray, ictal: np.ndarray
 ) -> LaelapsDetector:
     """Reconstruct a fitted detector from :func:`_model_meta` + prototypes."""
+    config_spec = dict(spec["config"])
+    # Compat loader: payloads written before the engine registry have no
+    # "engine" tag — their config's backend field (e.g. "packed") still
+    # names a registered engine, so it keeps loading unchanged.  Older
+    # still (pre-backend archives), the config has no backend key either
+    # and loads onto the engine that era ran on, the unpacked reference.
+    engine = spec.get("engine")
+    if engine is None:
+        engine = config_spec.get("backend", "unpacked")
+    config_spec["backend"] = engine
     detector = LaelapsDetector(
         spec["n_electrodes"],
-        LaelapsConfig(**spec["config"]),
+        LaelapsConfig(**config_spec),
         symbolizer=_build_symbolizer(spec["symbolizer"]),
     )
     detector.memory.store(

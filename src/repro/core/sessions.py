@@ -13,9 +13,10 @@ to driving each stream alone — the batching is a pure transport
 optimisation.
 
 Sessions may serve different patients (different electrode counts,
-prototypes and t_r) and may mix ``"packed"`` and ``"unpacked"``
-detector backends; only the hypervector dimension must be shared, so
-the packed query block lines up word for word.
+prototypes and t_r) and may mix compute engines freely — each
+session's H vectors enter the sweep through its own engine's
+``pack_queries`` bridge; only the hypervector dimension must be
+shared, so the query block lines up word for word.
 
 Live state (every session's symboliser tail, encoder buffers, alarm
 machine and counters, plus each model) checkpoints to one ``.npz``
@@ -33,7 +34,6 @@ from repro.core.detector import LaelapsDetector
 from repro.core.postprocess import delta_scores
 from repro.core.streaming import StreamEvent, StreamingLaelaps
 from repro.hdc.associative import grouped_classify_packed
-from repro.hdc.backend import pack_bits
 
 
 def validate_chunk(
@@ -211,11 +211,7 @@ class StreamSessionManager:
         labels_table = []
         for owner, (session_id, h_vectors) in enumerate(h_blocks):
             stream = self._sessions[session_id]
-            packed = (
-                h_vectors
-                if h_vectors.dtype == np.uint64
-                else pack_bits(h_vectors)
-            )
+            packed = stream.detector.engine.pack_queries(h_vectors)
             queries.append(packed)
             owners.append(np.full(packed.shape[0], owner, dtype=np.intp))
             block, block_labels = stream.detector.memory.packed_block()

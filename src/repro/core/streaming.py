@@ -57,9 +57,11 @@ class StreamingLaelaps:
 
     Push raw sample chunks with :meth:`push`; each call returns the
     stream events whose windows completed inside that chunk.  The
-    stream runs on whichever backend the detector was configured with —
-    on ``"packed"`` the H vectors never leave the word domain between
-    the encoder and the associative memory.
+    stream runs on whichever compute engine the detector was built
+    with — on the word-domain engines the H vectors never leave the
+    packed form between the encoder and the associative memory, and the
+    fused engine answers the per-tick single-window query through its
+    preallocated scratch path.
 
     Code continuation and decision times follow the detector's
     *symbolizer* (not the config's default LBP length), so a detector

@@ -49,18 +49,14 @@ def predict_windows(
 ) -> WindowPredictions:
     """Score a whole recording in one batched sweep.
 
-    Detectors exposing the encode/``predict_from_windows`` split (the
-    Laelaps pipeline on either backend) are driven through it: the
-    recording is encoded once into its full ``(n_windows, ...)`` window
-    block and classified by a single vectorized Hamming query instead
-    of any per-window loop.  Baselines without the split fall back to
-    their own ``predict``.
+    Laelaps detectors route ``predict`` through their compute engine's
+    ``encode_classify`` sweep (batched on every engine, fused on
+    ``packed-fused`` — windows are classified as their blocks complete,
+    with no per-window loop and no full H array); baselines run their
+    own ``predict``.  Kept as the evaluation driver's single entry
+    point so every method is scored through the same call.
     """
-    encode = getattr(detector, "encode", None)
-    from_windows = getattr(detector, "predict_from_windows", None)
-    if encode is None or from_windows is None:
-        return detector.predict(signal)
-    return from_windows(encode(signal))
+    return detector.predict(signal)
 
 
 @dataclass

@@ -72,9 +72,10 @@ def default_methods(
             is the paper's own minimum).
         seed: Master seed shared by all stochastic models.
         include: Subset of method names to build.
-        backend: Laelaps inference backend (``"unpacked"`` or
-            ``"packed"``); the baselines are unaffected.  The two
-            backends give bit-identical Table I rows.
+        backend: Laelaps compute-engine name (any value accepted by
+            :class:`~repro.core.config.LaelapsConfig`, including
+            ``auto``); the baselines are unaffected.  Every engine
+            gives bit-identical Table I rows.
     """
     from repro.baselines.cnn import StftCnnDetector
     from repro.baselines.lstm import LstmDetector

@@ -20,6 +20,13 @@ The packed half of the substrate never unpacks: ``repro.hdc.backend``
 owns the word layout, ``repro.hdc.bitsliced`` the carry-save counting,
 and ``repro.hdc.spatial_packed``/``repro.hdc.temporal_packed`` mirror the
 encoders bit-exactly in the word domain.
+
+``repro.hdc.engine`` is the single dispatch point between the forms: a
+named registry of :class:`~repro.hdc.engine.ComputeEngine` objects
+(``unpacked``, ``packed``, the fused ``packed-fused`` fast path and the
+``auto`` selector) that every layer above — detector, streaming,
+sessions, persistence, serving, CLI — routes through instead of
+branching on a backend string or probing array widths.
 """
 
 from repro.hdc.associative import (
@@ -41,8 +48,22 @@ from repro.hdc.bitsliced import (
     BitslicedCounter,
     bitsliced_counts,
     planes_add,
+    planes_from_counts,
     planes_greater_than,
     planes_to_counts,
+)
+from repro.hdc.engine import (
+    AUTO_ENGINE,
+    ComputeEngine,
+    PackedEngine,
+    PackedFusedEngine,
+    UnpackedEngine,
+    backend_choices,
+    build_engine,
+    engine_capabilities,
+    engine_names,
+    register_engine,
+    resolve_engine_name,
 )
 from repro.hdc.item_memory import ItemMemory, bound_table
 from repro.hdc.ops import (
@@ -72,6 +93,7 @@ __all__ = [
     "hamming_distance_packed",
     "bitsliced_counts",
     "planes_add",
+    "planes_from_counts",
     "planes_greater_than",
     "planes_to_counts",
     "bind",
@@ -92,4 +114,15 @@ __all__ = [
     "AssociativeMemory",
     "PrototypeAccumulator",
     "PackedPrototypeAccumulator",
+    "AUTO_ENGINE",
+    "ComputeEngine",
+    "UnpackedEngine",
+    "PackedEngine",
+    "PackedFusedEngine",
+    "backend_choices",
+    "build_engine",
+    "engine_capabilities",
+    "engine_names",
+    "register_engine",
+    "resolve_engine_name",
 ]

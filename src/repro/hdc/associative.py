@@ -119,6 +119,7 @@ class AssociativeMemory:
             raise ValueError(f"dim must be >= 1, got {dim}")
         self.dim = dim
         self._labels: list[int] = []
+        self._label_table = np.zeros(0, dtype=np.int64)
         self._prototypes: list[np.ndarray] = []
         self._packed: np.ndarray | None = None
 
@@ -167,6 +168,7 @@ class AssociativeMemory:
         else:
             self._labels.append(label)
             self._prototypes.append(arr.copy())
+        self._label_table = np.asarray(self._labels, dtype=np.int64)
         self._packed = pack_bits(np.stack(self._prototypes))
 
     def store_packed(self, label: int, prototype: np.ndarray) -> None:
@@ -289,7 +291,7 @@ class AssociativeMemory:
         """
         if self._packed is None:
             raise RuntimeError("associative memory has no prototypes")
-        return self._packed, np.asarray(self._labels, dtype=np.int64)
+        return self._packed, self._label_table
 
 
 def grouped_classify_packed(

@@ -17,17 +17,27 @@ import numpy as np
 
 WORD_BITS = 64
 
+_POPCOUNT_TABLE = np.array(
+    [bin(value).count("1") for value in range(256)], dtype=np.uint8
+)
+
+
+def _popcount_lookup(words: np.ndarray) -> np.ndarray:
+    """Byte-lookup per-word popcount: the numpy < 2.0 fallback path.
+
+    Always defined (not only on old numpy) so the parity suite can run
+    the packed backend through it on any numpy version — see
+    ``tests/hdc/test_popcount_fallback.py``.
+    """
+    arr = np.ascontiguousarray(np.asarray(words, dtype=np.uint64))
+    as_bytes = arr.view(np.uint8).reshape(arr.shape + (8,))
+    return _POPCOUNT_TABLE[as_bytes].sum(axis=-1, dtype=np.uint8)
+
+
 if hasattr(np, "bitwise_count"):
     _popcount = np.bitwise_count
-else:  # pragma: no cover - exercised only on numpy < 2.0
-    _POPCOUNT_TABLE = np.array(
-        [bin(value).count("1") for value in range(256)], dtype=np.uint8
-    )
-
-    def _popcount(words: np.ndarray) -> np.ndarray:
-        arr = np.ascontiguousarray(np.asarray(words, dtype=np.uint64))
-        as_bytes = arr.view(np.uint8).reshape(arr.shape + (8,))
-        return _POPCOUNT_TABLE[as_bytes].sum(axis=-1, dtype=np.uint8)
+else:  # pragma: no cover - selected only on numpy < 2.0
+    _popcount = _popcount_lookup
 
 
 def popcount_words(words: np.ndarray) -> np.ndarray:

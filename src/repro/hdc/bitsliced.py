@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.hdc.backend import packed_words, unpack_bits
+from repro.hdc.backend import pack_bits, packed_words, unpack_bits
 
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 
@@ -151,6 +151,34 @@ def planes_to_counts(planes: np.ndarray, dim: int) -> np.ndarray:
     for j in range(arr.shape[0]):
         total += unpack_bits(arr[j], dim).astype(np.int64) << j
     return total
+
+
+def planes_from_counts(counts: np.ndarray, dim: int) -> np.ndarray:
+    """Encode plain integer counts into digit planes.
+
+    Inverse of :func:`planes_to_counts`: the streaming-state import hook
+    of the packed temporal encoder, which checkpoints its per-block
+    counts in the engine-independent integer form.  Depth is the minimum
+    needed for the largest count (downstream plane arithmetic only
+    depends on the decoded counts, so depth differences are harmless).
+
+    Args:
+        counts: Non-negative integer array ``(..., dim)``.
+        dim: Number of counted positions (hypervector components).
+
+    Returns:
+        uint64 array ``(depth, ..., packed_words(dim))``.
+    """
+    arr = np.asarray(counts)
+    if arr.ndim < 1 or arr.shape[-1] != dim:
+        raise ValueError(f"expected (..., {dim}) counts, got {arr.shape}")
+    arr = arr.astype(np.int64)
+    if arr.size and int(arr.min()) < 0:
+        raise ValueError("counts must be non-negative")
+    depth = max(int(arr.max()).bit_length(), 1) if arr.size else 1
+    return np.stack(
+        [pack_bits(((arr >> j) & 1).astype(np.uint8)) for j in range(depth)]
+    )
 
 
 class BitslicedCounter:

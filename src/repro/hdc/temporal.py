@@ -116,18 +116,25 @@ class WindowBundler:
     # ------------------------------------------------------------------
 
     def _state_blocks(self) -> list[np.ndarray]:
-        """The per-block accumulation state as a list of arrays."""
+        """Per-block state as canonical ``(d,)`` integer count vectors.
+
+        Every backend exports the same form — the per-component sums of
+        the spatial records accumulated in each live block — so a
+        checkpoint written by one compute engine restores onto any
+        other.
+        """
         raise NotImplementedError
 
     def _restore_blocks(self, blocks: list[np.ndarray]) -> None:
-        """Rebuild the per-block state from :meth:`_state_blocks` output."""
+        """Rebuild the backend state from canonical count vectors."""
         raise NotImplementedError
 
     def state_dict(self) -> dict:
         """Snapshot of the streaming state: pending codes + block state.
 
-        The snapshot is plain numpy data (checkpointable to ``.npz``);
-        :meth:`restore_state` resumes the stream bit-exactly.
+        The snapshot is plain numpy data (checkpointable to ``.npz``)
+        in an engine-independent form; :meth:`restore_state` on *any*
+        registered engine's encoder resumes the stream bit-exactly.
         """
         return {
             "pending": self._pending.copy(),
@@ -135,14 +142,32 @@ class WindowBundler:
         }
 
     def restore_state(self, state: dict) -> "WindowBundler":
-        """Resume from a :meth:`state_dict` snapshot."""
+        """Resume from a :meth:`state_dict` snapshot.
+
+        Accepts the canonical count-vector block form from any engine,
+        plus the legacy form written by packed encoders before the
+        engine registry (bit-sliced digit planes), which is decoded on
+        the way in.
+        """
+        from repro.hdc.bitsliced import planes_to_counts
+
         pending = np.asarray(state["pending"], dtype=np.int64)
         if pending.ndim != 2 or pending.shape[1] != self.spatial.n_electrodes:
             raise ValueError(
                 f"pending codes must be (n, {self.spatial.n_electrodes}), "
                 f"got {pending.shape}"
             )
-        blocks = list(state["blocks"])
+        blocks = []
+        for block in state["blocks"]:
+            arr = np.asarray(block)
+            if arr.ndim == 2 and arr.dtype == np.uint64:
+                arr = planes_to_counts(arr, self.dim)
+            elif arr.ndim != 1 or arr.shape[0] != self.dim:
+                raise ValueError(
+                    f"block state must be ({self.dim},) counts or legacy "
+                    f"digit planes, got shape {arr.shape}"
+                )
+            blocks.append(arr.astype(np.int64, copy=False))
         if len(blocks) > self.blocks_per_window:
             raise ValueError(
                 f"{len(blocks)} blocks exceed the window's "
@@ -181,7 +206,7 @@ class TemporalEncoder(WindowBundler):
         return np.zeros((0, self.dim), dtype=np.uint8)
 
     def _state_blocks(self) -> list[np.ndarray]:
-        return list(self._block_sums)
+        return [block.astype(np.int64) for block in self._block_sums]
 
     def _restore_blocks(self, blocks: list[np.ndarray]) -> None:
         for block in blocks:

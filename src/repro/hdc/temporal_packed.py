@@ -23,7 +23,9 @@ import numpy as np
 from repro.hdc.bitsliced import (
     bitsliced_counts,
     planes_add,
+    planes_from_counts,
     planes_greater_than,
+    planes_to_counts,
 )
 from repro.hdc.spatial_packed import PackedSpatialEncoder
 from repro.hdc.temporal import WindowBundler
@@ -69,13 +71,17 @@ class PackedTemporalEncoder(WindowBundler):
         return np.zeros((0, self.words), dtype=np.uint64)
 
     def _state_blocks(self) -> list[np.ndarray]:
-        return list(self._block_planes)
+        # Exported in the engine-independent integer form; the digit
+        # planes are rebuilt on restore (their depth only depends on the
+        # decoded counts, so the round trip is bit-exact downstream).
+        return [
+            planes_to_counts(planes, self.dim)
+            for planes in self._block_planes
+        ]
 
     def _restore_blocks(self, blocks: list[np.ndarray]) -> None:
-        for planes in blocks:
-            self._block_planes.append(
-                np.asarray(planes, dtype=np.uint64).copy()
-            )
+        for counts in blocks:
+            self._block_planes.append(planes_from_counts(counts, self.dim))
 
 
 def encode_recording_packed(

@@ -2,9 +2,11 @@
 
 A worker owns a subset of the fleet's sessions and executes a small
 command vocabulary against its manager — open/import/export/pop/close,
-``push_many`` (the per-tick grouped packed sweep over *its* sessions),
-and ``checkpoint`` (its shard of a fleet snapshot, written with
-:func:`repro.core.persistence.save_sessions`).
+``push_many`` (the per-tick grouped sweep over *its* sessions, each
+session queried through its own compute engine), and ``checkpoint``
+(its shard of a fleet snapshot, written with
+:func:`repro.core.persistence.save_sessions` — session payloads carry
+their engine tag, so shards reopen on the engine that wrote them).
 
 Two transports implement the same request/reply protocol:
 

@@ -52,6 +52,41 @@ class TestTable1Command(object):
         assert "laelaps" in out
 
 
+class TestBackendsCommand:
+    def test_lists_every_registered_engine(self, capsys):
+        from repro.hdc.engine import engine_names
+
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in engine_names():
+            assert name in out
+        assert "auto" in out  # reports what the selector resolves to
+        assert "bit-identical" in out
+
+    def test_reports_word_layout_at_dim(self, capsys):
+        assert main(["backends", "--dim", "130"]) == 0
+        out = capsys.readouterr().out
+        assert "d=130" in out
+        packed_row = next(
+            line for line in out.splitlines() if line.startswith("packed ")
+        )
+        # ceil(130 / 64) = 3 words; the unpacked row reports raw width.
+        assert " 3 " in packed_row
+        unpacked_row = next(
+            line for line in out.splitlines()
+            if line.startswith("unpacked ")
+        )
+        assert " 130 " in unpacked_row
+
+    def test_unknown_backend_value_exits_2_naming_choices(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["sessions", "--backend", "gpu"])
+        assert exc_info.value.code == 2
+        err = capsys.readouterr().err
+        for name in ("unpacked", "packed", "packed-fused", "auto"):
+            assert name in err
+
+
 class TestServingCommands:
     def test_sessions_demo_tiny(self, capsys):
         assert main([
@@ -72,7 +107,9 @@ class TestServingCommands:
         assert "windows/s" in out
 
 
-COMMANDS = ("table1", "table2", "fig3", "scaling", "sessions", "serve")
+COMMANDS = (
+    "table1", "table2", "fig3", "scaling", "backends", "sessions", "serve",
+)
 
 
 class TestArgumentErrors:
@@ -100,3 +137,4 @@ class TestArgumentErrors:
         # One-line descriptions ride along in the listing.
         assert "sharded multi-worker serving demo" in out
         assert "multi-patient stream-serving demo" in out
+        assert "list registered compute engines" in out
