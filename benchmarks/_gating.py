@@ -1,0 +1,61 @@
+"""Machine-shape gating shared by every throughput-asserting bench.
+
+Performance floors only hold on hosts whose shape can carry them: a
+multi-process speedup needs spare cores, a timing-sensitive ratio needs
+more than one core so the OS scheduler is not part of the measurement.
+Every bench that asserts a floor routes through :func:`gate_speedup`
+instead of re-implementing its own core-count check — in smoke mode or
+on too-small hosts the measured ratio is *reported* (so the number
+still lands in CI logs) but not asserted.
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import smoke_mode
+
+
+def usable_cores() -> int:
+    """Core count the gating decisions are based on."""
+    return os.cpu_count() or 1
+
+
+def gate_speedup(
+    speedup: float,
+    floor: float,
+    *,
+    min_cores: int,
+    label: str,
+    detail: str = "",
+) -> bool:
+    """Assert ``speedup >= floor`` only where the host shape allows it.
+
+    Args:
+        speedup: The measured ratio.
+        floor: The acceptance floor.
+        min_cores: Smallest core count on which the floor is meaningful.
+        label: Bench name for the printed report lines.
+        detail: Optional context appended to the assertion message.
+
+    Returns:
+        True if the floor was actually asserted, False if the check was
+        report-only (smoke mode or a too-small host).
+
+    Raises:
+        AssertionError: If the floor was asserted and missed.
+    """
+    if smoke_mode():
+        return False
+    cores = usable_cores()
+    if cores < min_cores:
+        print(
+            f"[{label}] only {cores} core(s) available; the "
+            f">={floor}x floor needs {min_cores} — reported, not asserted"
+        )
+        return False
+    assert speedup >= floor, (
+        f"[{label}] only {speedup:.2f}x (floor {floor}x)"
+        + (f"; {detail}" if detail else "")
+    )
+    return True

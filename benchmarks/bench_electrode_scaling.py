@@ -34,8 +34,8 @@ def test_electrode_scaling(benchmark):
 
     # The advantage widens monotonically with the electrode count.
     svm_ratio = [
-        s.time_ms / l.time_ms
-        for s, l in zip(sweep["svm"], sweep["laelaps"])
+        svm.time_ms / lae.time_ms
+        for svm, lae in zip(sweep["svm"], sweep["laelaps"])
     ]
     assert svm_ratio == sorted(svm_ratio)
     assert svm_ratio[0] == pytest.approx(1.7, abs=0.1)

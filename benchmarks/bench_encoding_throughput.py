@@ -30,8 +30,8 @@ from repro.hdc.spatial import SpatialEncoder
 from repro.hdc.spatial_packed import PackedSpatialEncoder
 from repro.hdc.temporal import encode_recording
 from repro.hdc.temporal_packed import encode_recording_packed
-from repro.signal.windows import WindowSpec
 from repro.lbp.codes import lbp_codes_multichannel
+from repro.signal.windows import WindowSpec
 
 FS = 256.0
 N_ELECTRODES = 64

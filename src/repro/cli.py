@@ -9,6 +9,7 @@ Usage::
     repro-laelaps backends
     repro-laelaps sessions [--patients 6] [--backend auto]
     repro-laelaps serve [--workers 4] [--mode process]
+    repro-laelaps loadtest [--sessions 256] [--out BENCH_load_slo.json]
 
 (or ``python -m repro ...``).  ``repro --help`` lists every sub-command
 with a one-line description; unknown sub-commands exit non-zero with
@@ -255,6 +256,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.evaluation.benchrec import (
+        read_record,
+        render_comparison,
+        write_record,
+    )
+    from repro.serve.loadgen import LoadConfig, run_load_test
+
+    config = LoadConfig(
+        n_sessions=args.sessions,
+        dim=args.dim,
+        n_ticks=args.ticks,
+        rate=args.rate,
+        n_workers=args.workers,
+        mode=args.mode,
+        backend=args.backend,
+    )
+    report = run_load_test(config, progress=print)
+    metrics = report.metrics
+    table = render_table(
+        ["Metric", "Value"],
+        [[name, metrics[name]] for name in sorted(metrics)],
+        title=(
+            f"Load test: {args.sessions} sessions x {args.ticks} ticks on "
+            f"{args.workers} {args.mode} workers ({report.engine})"
+        ),
+        precision=3,
+    )
+    print(table)
+    if args.out:
+        path = write_record(report.record(), args.out)
+        print(f"\nbenchmark record written to {path}")
+    if args.check:
+        print()
+        print(render_comparison(read_record(args.check), report.record()))
+        print("(deltas are report-only; see docs/benchmarking.md)")
+    return 0
+
+
 def _cmd_backends(args: argparse.Namespace) -> int:
     from repro.hdc.engine import (
         AUTO_ENGINE,
@@ -386,6 +426,33 @@ def main(argv: list[str] | None = None) -> int:
                     default="auto",
                     help="compute engine of the demo detectors")
     p6.set_defaults(func=_cmd_serve)
+
+    p7 = sub.add_parser(
+        "loadtest",
+        help="load-test the sharded gateway (latency SLO harness)",
+    )
+    p7.add_argument("--sessions", type=int, default=64,
+                    help="concurrent patient sessions")
+    p7.add_argument("--workers", type=int, default=2,
+                    help="shard worker pool size")
+    p7.add_argument("--mode", choices=("inline", "process"),
+                    default="inline",
+                    help="shard transport (inline = single process)")
+    p7.add_argument("--ticks", type=int, default=40,
+                    help="measured steady-state ticks")
+    p7.add_argument("--dim", type=int, default=2_000)
+    p7.add_argument("--rate", type=float, default=0.0,
+                    help="tick pacing as a multiple of real time "
+                         "(0 = as fast as possible)")
+    p7.add_argument("--backend", choices=backend_choices(),
+                    default="auto",
+                    help="compute engine of the served models")
+    p7.add_argument("--out", metavar="PATH",
+                    help="write the run as a benchrec JSON record")
+    p7.add_argument("--check", metavar="BASELINE",
+                    help="compare against a committed BENCH_*.json "
+                         "baseline (report-only deltas)")
+    p7.set_defaults(func=_cmd_loadtest)
 
     args = parser.parse_args(argv)
     try:

@@ -14,8 +14,14 @@ checkpoints).  The sharded multi-process layer lives one package up in
 ``repro.serve``.
 """
 
-from repro.core.config import INTERICTAL, ICTAL, LaelapsConfig
+from repro.core.config import ICTAL, INTERICTAL, LaelapsConfig
 from repro.core.detector import LaelapsDetector, WindowPredictions
+from repro.core.persistence import (
+    load_model,
+    load_sessions,
+    save_model,
+    save_sessions,
+)
 from repro.core.postprocess import (
     AlarmStateMachine,
     PostprocessConfig,
@@ -24,12 +30,6 @@ from repro.core.postprocess import (
     delta_scores,
     flags_to_onsets,
     tune_tr,
-)
-from repro.core.persistence import (
-    load_model,
-    load_sessions,
-    save_model,
-    save_sessions,
 )
 from repro.core.sessions import StreamSessionManager
 from repro.core.streaming import StreamEvent, StreamingLaelaps

@@ -30,9 +30,9 @@ from repro.data.failures import (
     saturate_electrodes,
 )
 from repro.data.io import load_recording, save_recording
-from repro.data.swec import load_long_term_hours, load_short_term
 from repro.data.model import Cohort, Patient, Recording, SeizureEvent
 from repro.data.splits import ChronologicalSplit, make_chronological_split
+from repro.data.swec import load_long_term_hours, load_short_term
 from repro.data.synthetic import (
     SeizurePlan,
     SynthesisParams,

@@ -22,7 +22,7 @@ pipeline actually consumes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 from scipy import signal as sps
@@ -32,6 +32,10 @@ from repro.data.model import CLINICAL, SUBTLE, Recording, SeizureEvent
 # Paul Kellet's economy pink-noise IIR approximation (1/f magnitude).
 _PINK_B = np.array([0.049922035, -0.095993537, 0.050612699, -0.004408786])
 _PINK_A = np.array([1.0, -2.494956002, 2.017265875, -0.522189400])
+# Steady-state output std of the Kellet filter for unit white input —
+# the fixed gain the *streaming* source applies instead of per-chunk
+# re-normalisation (which would make output depend on chunk boundaries).
+_PINK_STEADY_STD = 0.0861
 
 
 @dataclass(frozen=True)
@@ -460,3 +464,180 @@ class SyntheticIEEGGenerator:
             fs=p.fs,
             seizures=tuple(sorted(events, key=lambda e: e.onset_s)),
         )
+
+
+class ClockedEEGSource:
+    """Sample-rate-driven live iEEG source with stochastic seizures.
+
+    The serving-side counterpart of :class:`SyntheticIEEGGenerator`:
+    instead of materialising a whole recording up front it produces the
+    stream chunk by chunk, holding filter and seizure state across
+    calls, so a load generator can drive thousands of concurrent
+    sessions without ever allocating a full recording.  Seizure onsets
+    arrive as a Poisson process (exponential inter-arrival times, one
+    refractory seizure at a time), each a focal asymmetric sawtooth
+    rhythm in the source's fixed onset zone — the same ictal signature
+    the batch generator plants.
+
+    Determinism is total *and* chunking-invariant: a given
+    ``(n_electrodes, fs, seed, ...)`` source emits the same sample
+    stream whatever chunk sizes it is asked for, because background
+    noise is drawn strictly per-sample from one private generator,
+    event parameters strictly per-event from another, the pink filter
+    carries its state between chunks, and seizure waveforms are
+    functions of the absolute sample index.
+
+    Args:
+        n_electrodes: Channel count of every emitted chunk.
+        fs: Sampling rate in Hz; ``next_chunk(n)`` advances the source
+            clock by ``n / fs`` seconds.
+        seed: Determines the whole stream.
+        background_std: Background amplitude (everything is relative).
+        seizure_rate_per_min: Mean injected-seizure rate.  0 disables
+            injection (stationary background load).
+        seizure_duration_s: Mean seizure length (jittered ±30 %).
+        seizure_freq_hz: Dominant ictal rhythm frequency.
+        seizure_amplitude: Ictal amplitude relative to the background.
+        focal_fraction: Fraction of electrodes in the onset zone.
+    """
+
+    def __init__(
+        self,
+        n_electrodes: int,
+        fs: float = 256.0,
+        *,
+        seed: int = 0,
+        background_std: float = 1.0,
+        seizure_rate_per_min: float = 1.0,
+        seizure_duration_s: float = 8.0,
+        seizure_freq_hz: float = 3.0,
+        seizure_amplitude: float = 4.5,
+        focal_fraction: float = 0.5,
+    ) -> None:
+        if n_electrodes < 1:
+            raise ValueError(f"n_electrodes must be >= 1, got {n_electrodes}")
+        if fs <= 0:
+            raise ValueError(f"fs must be positive, got {fs}")
+        if seizure_rate_per_min < 0:
+            raise ValueError("seizure_rate_per_min must be >= 0")
+        if not 0 < focal_fraction <= 1:
+            raise ValueError("focal_fraction must be in (0, 1]")
+        self.n_electrodes = n_electrodes
+        self.fs = fs
+        self.seed = seed
+        self.background_std = background_std
+        self.seizure_rate_per_min = seizure_rate_per_min
+        self.seizure_duration_s = seizure_duration_s
+        self.seizure_freq_hz = seizure_freq_hz
+        self.seizure_amplitude = seizure_amplitude
+        # Independent generators so the per-sample (noise) and per-event
+        # (seizure parameter) draw sequences cannot interleave — the
+        # property that makes the stream chunking-invariant.
+        self._noise_rng = np.random.default_rng([seed, 0x5EED])
+        self._event_rng = np.random.default_rng([seed, 0xE4E7])
+        order = max(_PINK_A.size, _PINK_B.size) - 1
+        self._zi = np.zeros((order, n_electrodes))
+        count = max(1, min(n_electrodes,
+                           int(round(focal_fraction * n_electrodes))))
+        start = int(self._event_rng.integers(0, n_electrodes - count + 1))
+        self._onset_zone = np.arange(start, start + count)
+        self._sample = 0
+        self._seizure: tuple[int, int, float, float] | None = None
+        self._next_onset = self._draw_next_onset(0)
+        self._onsets: list[float] = []
+
+    @property
+    def t_s(self) -> float:
+        """Stream time generated so far, in seconds."""
+        return self._sample / self.fs
+
+    @property
+    def injected_onsets_s(self) -> tuple[float, ...]:
+        """Onset times (s) of the seizures emitted so far."""
+        return tuple(self._onsets)
+
+    def _draw_next_onset(self, after_sample: int) -> int | None:
+        if self.seizure_rate_per_min <= 0:
+            return None
+        gap_s = float(
+            self._event_rng.exponential(60.0 / self.seizure_rate_per_min)
+        )
+        return after_sample + max(1, int(round(gap_s * self.fs)))
+
+    def _activate_seizure(self, onset: int) -> None:
+        duration_s = self.seizure_duration_s * float(
+            self._event_rng.uniform(0.7, 1.3)
+        )
+        freq = self.seizure_freq_hz * float(self._event_rng.uniform(0.9, 1.1))
+        amp = (self.background_std * self.seizure_amplitude
+               * float(self._event_rng.uniform(0.85, 1.15)))
+        end = onset + max(2, int(round(duration_s * self.fs)))
+        self._seizure = (onset, end, freq, amp)
+        self._onsets.append(onset / self.fs)
+        # Refractory scheduling: the next onset can only follow this
+        # seizure's end, so at most one seizure is active at a time.
+        self._next_onset = self._draw_next_onset(end)
+
+    def _seizure_wave(self, start: int, end: int) -> np.ndarray | None:
+        """Ictal waveform for absolute samples ``[start, end)``, or None."""
+        assert self._seizure is not None
+        onset, sz_end, freq, amp = self._seizure
+        lo = max(start, onset)
+        hi = min(end, sz_end)
+        if lo >= hi:
+            return None
+        t = np.arange(lo, hi, dtype=np.float64) - onset
+        phase = 2 * np.pi * freq * t / self.fs
+        wave = sps.sawtooth(phase, width=0.85)
+        total = sz_end - onset
+        ramp = max(1, min(int(2.0 * self.fs), total // 3))
+        envelope = np.minimum(t / ramp, 1.0)
+        tail = total - int(0.2 * total)
+        fade = (total - t) / max(1, total - tail)
+        envelope = np.minimum(envelope, np.clip(fade, 0.0, 1.0))
+        return amp * envelope * wave
+
+    def next_chunk(self, n_samples: int) -> np.ndarray:
+        """Emit the next ``n_samples`` of the live stream.
+
+        Returns:
+            float32 array ``(n_samples, n_electrodes)``.
+        """
+        if n_samples < 1:
+            raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+        start = self._sample
+        end = start + n_samples
+        white = self._noise_rng.standard_normal(
+            (n_samples, self.n_electrodes)
+        )
+        pink, self._zi = sps.lfilter(
+            _PINK_B, _PINK_A, white, axis=0, zi=self._zi
+        )
+        data = (self.background_std / _PINK_STEADY_STD) * pink
+        # Activate every onset the chunk reaches, then add whatever part
+        # of the active seizure overlaps this chunk.  The loop ends the
+        # seizure as soon as the chunk passes it, so arbitrarily long
+        # chunks may cover several seizures back to back.
+        cursor = start
+        while cursor < end:
+            if self._seizure is None:
+                if self._next_onset is None or self._next_onset >= end:
+                    break
+                self._activate_seizure(self._next_onset)
+            onset, sz_end, _, _ = self._seizure
+            wave = self._seizure_wave(cursor, end)
+            if wave is not None:
+                lo = max(cursor, onset) - start
+                rows = slice(lo, lo + wave.size)
+                data[rows, self._onset_zone] += wave[:, None]
+            if sz_end <= end:
+                self._seizure = None
+                cursor = sz_end
+            else:
+                break
+        self._sample = end
+        return data.astype(np.float32)
+
+    def tick(self, tick_s: float) -> np.ndarray:
+        """One tick's worth of samples (``round(tick_s * fs)`` of them)."""
+        return self.next_chunk(max(1, int(round(tick_s * self.fs))))

@@ -24,6 +24,7 @@ from repro.evaluation.operating import (
     tr_operating_curve,
     zero_fdr_plateau,
 )
+from repro.evaluation.report import render_table
 from repro.evaluation.runner import (
     PatientResult,
     PatientRun,
@@ -38,7 +39,6 @@ from repro.evaluation.table1 import (
     default_methods,
     run_table1,
 )
-from repro.evaluation.report import render_table
 
 __all__ = [
     "CrossValidationResult",

@@ -61,7 +61,6 @@ class LSTMCell(Module):
 
         Accumulates parameter gradients as a side effect.
         """
-        hs = self.hidden_size
         i, f, g, o = cache["i"], cache["f"], cache["g"], cache["o"]
         tanh_c = cache["tanh_c"]
         dc = grad_c + grad_h * o * (1.0 - tanh_c**2)

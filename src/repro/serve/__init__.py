@@ -15,15 +15,27 @@ the road to fleet scale (see ``docs/serving.md``):
     with explicit :class:`Backpressure`, elastic worker add/remove with
     bit-exact session migration, and whole-fleet checkpoint/restore
     built on ``save_sessions``/``load_sessions`` shard files plus a
-    manifest.
+    manifest.  Every tick is timed into :class:`TickStats`.
+``repro.serve.loadgen``
+    The load harness: :class:`LoadGenerator` opens many clocked-source
+    sessions against a gateway and measures p50/p99/p99.9 tick latency,
+    sustained throughput, backpressure onset and worker-loss recovery —
+    the numbers behind the committed ``BENCH_*.json`` perf trajectory.
 """
 
 from repro.serve.gateway import (
     FLEET_MANIFEST,
     Backpressure,
     ShardedStreamGateway,
+    TickStats,
 )
 from repro.serve.hashing import HashRing, stable_hash
+from repro.serve.loadgen import (
+    LoadConfig,
+    LoadGenerator,
+    LoadReport,
+    run_load_test,
+)
 from repro.serve.worker import (
     InlineShardWorker,
     ProcessShardWorker,
@@ -35,10 +47,15 @@ __all__ = [
     "ShardedStreamGateway",
     "Backpressure",
     "FLEET_MANIFEST",
+    "TickStats",
     "HashRing",
     "stable_hash",
     "InlineShardWorker",
     "ProcessShardWorker",
     "ShardCommandHandler",
     "WorkerError",
+    "LoadConfig",
+    "LoadGenerator",
+    "LoadReport",
+    "run_load_test",
 ]

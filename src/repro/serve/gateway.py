@@ -30,6 +30,7 @@ The gateway adds three things a bare manager does not have:
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from pathlib import Path
 from typing import Mapping
@@ -59,6 +60,50 @@ _WORKER_CLASSES = {
 
 class Backpressure(RuntimeError):
     """A session's pending-chunk queue is full; drain before submitting."""
+
+
+class TickStats:
+    """Bounded per-tick timing log of one gateway (the perf hook).
+
+    Every completed tick (:meth:`ShardedStreamGateway.push_many` round,
+    including each round of a :meth:`ShardedStreamGateway.drain`)
+    records its wall latency, session count and returned-window count
+    here.  The latency log is a bounded deque so a long-lived gateway
+    never grows it without limit; the counters are cumulative.  The
+    load harness (:mod:`repro.serve.loadgen`) reads this instead of
+    timing around the gateway, so what it reports is exactly what the
+    gateway itself observed.
+    """
+
+    def __init__(self, maxlen: int = 65536) -> None:
+        if maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1, got {maxlen}")
+        self.maxlen = maxlen
+        self._latencies: deque[float] = deque(maxlen=maxlen)
+        self.ticks = 0
+        self.windows = 0
+        self.sessions_ticked = 0
+
+    def record(
+        self, latency_s: float, n_sessions: int, n_windows: int
+    ) -> None:
+        """Log one completed tick."""
+        self._latencies.append(latency_s)
+        self.ticks += 1
+        self.windows += n_windows
+        self.sessions_ticked += n_sessions
+
+    @property
+    def latencies_s(self) -> list[float]:
+        """Wall latencies of the most recent ticks (oldest first)."""
+        return list(self._latencies)
+
+    def reset(self) -> None:
+        """Clear the log and counters (e.g. after a warm-up phase)."""
+        self._latencies.clear()
+        self.ticks = 0
+        self.windows = 0
+        self.sessions_ticked = 0
 
 
 class ShardedStreamGateway:
@@ -105,6 +150,8 @@ class ShardedStreamGateway:
         self._electrodes: dict[str, int] = {}
         self._dim: int | None = None
         self._next_worker = 0
+        #: Per-tick timing log (see :class:`TickStats`); reset freely.
+        self.tick_stats = TickStats()
         for _ in range(n_workers):
             self.add_worker()
 
@@ -351,6 +398,7 @@ class ShardedStreamGateway:
         self, chunks: Mapping[str, np.ndarray]
     ) -> dict[str, list[StreamEvent]]:
         """The unguarded tick path shared by :meth:`push_many`/:meth:`drain`."""
+        tick_start = time.perf_counter()
         per_worker: dict[str, dict[str, np.ndarray]] = {}
         for session_id in chunks:
             worker_id = self._route(session_id)
@@ -378,6 +426,11 @@ class ShardedStreamGateway:
                     first_error = exc
         if first_error is not None:
             raise first_error
+        self.tick_stats.record(
+            time.perf_counter() - tick_start,
+            len(chunks),
+            sum(len(session_events) for session_events in events.values()),
+        )
         return events
 
     def submit(self, session_id: str, chunk) -> None:

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.config import LaelapsConfig
 from repro.core.detector import LaelapsDetector
 from repro.core.streaming import StreamingLaelaps
 from repro.core.symbolizers import LBPSymbolizer

@@ -5,6 +5,7 @@ import pytest
 
 from repro.data.model import CLINICAL, SUBTLE
 from repro.data.synthetic import (
+    ClockedEEGSource,
     SeizurePlan,
     SynthesisParams,
     SyntheticIEEGGenerator,
@@ -158,3 +159,87 @@ class TestConfounders:
         tail_quiet = np.mean(np.abs(quiet_rec.data) > 3.0)
         tail_busy = np.mean(np.abs(busy_rec.data) > 3.0)
         assert tail_busy > 5.0 * max(tail_quiet, 1e-6)
+
+
+class TestClockedEEGSource:
+    """The live streaming source: deterministic and chunking-invariant."""
+
+    def _stream(self, source, total, chunk):
+        parts = []
+        remaining = total
+        while remaining > 0:
+            n = min(chunk, remaining)
+            parts.append(source.next_chunk(n))
+            remaining -= n
+        return np.concatenate(parts, axis=0)
+
+    def test_same_seed_same_stream(self):
+        a = ClockedEEGSource(4, FS, seed=5)
+        b = ClockedEEGSource(4, FS, seed=5)
+        np.testing.assert_array_equal(
+            self._stream(a, 2048, 128), self._stream(b, 2048, 128)
+        )
+        assert a.injected_onsets_s == b.injected_onsets_s
+
+    def test_chunking_invariance(self):
+        # 16 x 128-sample ticks, 4 x 512-sample ticks and one 2048-sample
+        # pull must all yield the identical sample stream.
+        seed = 21
+        fine = self._stream(ClockedEEGSource(3, FS, seed=seed), 2048, 128)
+        coarse = self._stream(ClockedEEGSource(3, FS, seed=seed), 2048, 512)
+        single = ClockedEEGSource(3, FS, seed=seed).next_chunk(2048)
+        np.testing.assert_array_equal(fine, coarse)
+        np.testing.assert_array_equal(fine, single)
+
+    def test_different_seed_different_stream(self):
+        a = ClockedEEGSource(4, FS, seed=5).next_chunk(512)
+        b = ClockedEEGSource(4, FS, seed=6).next_chunk(512)
+        assert not np.array_equal(a, b)
+
+    def test_clock_advances_by_samples_over_fs(self):
+        source = ClockedEEGSource(2, FS, seed=0)
+        source.next_chunk(128)
+        assert source.t_s == pytest.approx(128 / FS)
+        source.tick(0.5)
+        assert source.t_s == pytest.approx(128 / FS + 0.5)
+
+    def test_zero_rate_disables_injection(self):
+        source = ClockedEEGSource(4, FS, seed=2, seizure_rate_per_min=0.0)
+        data = source.next_chunk(int(30 * FS))
+        assert source.injected_onsets_s == ()
+        # Pure background: nothing sustained above a few sigma.
+        assert np.abs(data).max() < 6.0
+
+    def test_high_rate_injects_recorded_focal_onsets(self):
+        source = ClockedEEGSource(
+            4, FS, seed=7, seizure_rate_per_min=6.0, focal_fraction=0.5
+        )
+        data = self._stream(source, int(90 * FS), 128)
+        onsets = source.injected_onsets_s
+        assert len(onsets) >= 2
+        assert all(0.0 <= t <= 90.0 for t in onsets)
+        assert list(onsets) == sorted(onsets)
+        # Seizures are focal: the onset-zone channels carry visibly more
+        # energy than the uninvolved half of the montage.
+        per_channel = data.std(axis=0)
+        assert per_channel.max() > 1.5 * per_channel.min()
+
+    def test_shape_and_chunk_sizes(self):
+        source = ClockedEEGSource(5, FS, seed=1)
+        assert source.next_chunk(7).shape == (7, 5)
+        assert source.tick(0.5).shape == (128, 5)
+
+    @pytest.mark.parametrize("bad", [
+        dict(n_electrodes=0),
+        dict(fs=0.0),
+        dict(seizure_rate_per_min=-1.0),
+        dict(focal_fraction=0.0),
+        dict(focal_fraction=1.5),
+    ])
+    def test_rejects_invalid_parameters(self, bad):
+        kwargs = dict(n_electrodes=4, fs=FS)
+        kwargs.update(bad)
+        n = kwargs.pop("n_electrodes")
+        fs = kwargs.pop("fs")
+        with pytest.raises(ValueError):
+            ClockedEEGSource(n, fs, **kwargs)

@@ -1,6 +1,5 @@
 """Tests for repro.evaluation.crossval."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import LaelapsConfig

@@ -1,6 +1,5 @@
 """Tests for repro.evaluation.runner and the report renderer."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import LaelapsConfig

@@ -8,7 +8,7 @@ from repro.hw.kernels import (
     simulate_kernel,
     simulate_kernels,
 )
-from repro.hw.platform import MAXQ, TX2Platform
+from repro.hw.platform import MAXQ
 
 
 class TestPlatform:

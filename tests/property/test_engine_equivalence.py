@@ -58,7 +58,6 @@ class TestBatchEquivalence:
     @given(ODD_DIMS, st.integers(0, 2**31 - 1))
     def test_encode_matches_across_engines(self, dim, seed):
         """H vectors agree component for component after unpacking."""
-        rng = np.random.default_rng(seed)
         signal = _signal(np.random.default_rng(seed + 1), 3.0)
         reference = None
         for engine in ENGINES:

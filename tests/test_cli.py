@@ -106,9 +106,35 @@ class TestServingCommands:
         assert "checkpoint" in out
         assert "windows/s" in out
 
+    def test_loadtest_tiny_with_record_and_check(self, capsys, tmp_path):
+        from repro.evaluation.benchrec import read_record
+
+        out_path = tmp_path / "BENCH_load_slo.json"
+        assert main([
+            "loadtest", "--sessions", "4", "--workers", "2",
+            "--mode", "inline", "--ticks", "6", "--dim", "256",
+            "--out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "tick_latency_p99_ms" in out
+        assert "backpressure_onset_chunks" in out
+        record = read_record(out_path)  # schema-valid on disk
+        assert record.name == "load_slo"
+        # --check against the record just written: deltas all 1.00x-ish,
+        # printed report-only.
+        assert main([
+            "loadtest", "--sessions", "4", "--workers", "2",
+            "--mode", "inline", "--ticks", "6", "--dim", "256",
+            "--check", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "report-only" in out
+        assert "throughput_windows_per_s" in out
+
 
 COMMANDS = (
     "table1", "table2", "fig3", "scaling", "backends", "sessions", "serve",
+    "loadtest",
 )
 
 
