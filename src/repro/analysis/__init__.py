@@ -1,0 +1,66 @@
+"""Project-specific static analysis: the ``repro lint`` rule engine.
+
+An AST-based lint pass (stdlib ``ast`` only — no new dependencies)
+that machine-checks the contracts this repository's correctness
+arguments rest on: determinism of core paths, engine-name ownership by
+the ``repro.hdc.engine`` registry, fork-safety of the serving layer,
+checkpoint-schema hygiene, and packed-domain dtype pinning.
+
+Entry points:
+
+* CLI — ``repro lint [PATHS...] [--baseline FILE] [--format text|json]``
+* API — :func:`lint_paths` over files/dirs, :func:`lint_source` for
+  in-memory snippets (the fixture-test hook).
+
+See ``docs/static_analysis.md`` for the rule catalogue, the
+``repro: noqa[RPR0xx]`` suppression syntax and the baseline
+workflow.
+"""
+
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineEntry,
+    BaselineError,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import (
+    JSON_FORMAT_VERSION,
+    META_CODE,
+    FileContext,
+    Finding,
+    LintResult,
+    Rule,
+    check_file,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    parse_suppressions,
+    register_rule,
+    registered_rules,
+    result_from_json,
+    rule_codes,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "FileContext",
+    "Finding",
+    "JSON_FORMAT_VERSION",
+    "LintResult",
+    "META_CODE",
+    "Rule",
+    "check_file",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "parse_suppressions",
+    "register_rule",
+    "registered_rules",
+    "result_from_json",
+    "rule_codes",
+    "write_baseline",
+]

@@ -1,0 +1,147 @@
+"""Small AST helpers shared by the rule modules.
+
+The heart is canonical-name resolution: a rule never wants to know
+whether the file wrote ``np.random.seed``, ``numpy.random.seed`` or
+``from numpy import random; random.seed`` — it wants the canonical
+dotted name ``numpy.random.seed``.  :func:`import_aliases` builds the
+local-name → canonical-prefix map from the file's import statements
+and :func:`resolve_call_name` applies it to a call's function
+expression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the canonical dotted prefix they refer to.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from numpy import
+    random as r`` maps ``r -> numpy.random``; ``from time import
+    time`` maps ``time -> time.time``.  Only top-level and nested
+    ``import`` statements are considered (wherever they appear — the
+    codebase imports lazily inside functions).
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                canonical = alias.name if alias.asname else local
+                aliases[local] = canonical
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports never shadow stdlib/numpy
+            for alias in node.names:
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def resolve_call_name(
+    func: ast.AST, aliases: dict[str, str]
+) -> str | None:
+    """Canonical dotted name of a call's function expression.
+
+    The leading segment is rewritten through ``aliases`` so the result
+    is import-style agnostic; unresolvable shapes (lambdas, subscript
+    calls, locals that are not imports) return ``None``.
+    """
+    dotted = dotted_name(func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    canonical_head = aliases.get(head, head)
+    return f"{canonical_head}.{rest}" if rest else canonical_head
+
+
+def resolve_imported_call(
+    func: ast.AST, aliases: dict[str, str]
+) -> str | None:
+    """Like :func:`resolve_call_name`, but only for imported heads.
+
+    Returns ``None`` unless the leading segment is a name bound by an
+    import statement in this file — a local variable that happens to be
+    called ``random`` or ``time`` never resolves, so the determinism
+    rules cannot false-positive on it.
+    """
+    dotted = dotted_name(func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    if head not in aliases:
+        return None
+    canonical = aliases[head]
+    return f"{canonical}.{rest}" if rest else canonical
+
+
+def walk_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    """Every ``ast.Call`` in the tree."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def module_level_statements(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Top-level statements, descending into top-level ``if`` blocks.
+
+    ``if TYPE_CHECKING:``-style guards are treated as module level, so
+    state hidden behind an import-time conditional is still seen.
+    """
+    stack: list[ast.stmt] = list(tree.body)
+    while stack:
+        stmt = stack.pop(0)
+        if isinstance(stmt, ast.If):
+            stack = stmt.body + stmt.orelse + stack
+            continue
+        yield stmt
+
+
+def functions_with_qualname(
+    tree: ast.Module,
+) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef, str | None]]:
+    """Yield ``(qualname, node, class_name)`` for every function.
+
+    ``class_name`` is ``None`` for module-level functions; nesting
+    deeper than one class level is reported under the innermost class.
+    """
+    def visit(body, class_name: str | None, prefix: str):
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield f"{prefix}{stmt.name}", stmt, class_name
+            elif isinstance(stmt, ast.ClassDef):
+                yield from visit(
+                    stmt.body, stmt.name, f"{prefix}{stmt.name}."
+                )
+
+    yield from visit(tree.body, None, "")
+
+
+def positional_params(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    """Declared parameter names (positional + keyword-only), sans self."""
+    args = node.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return names
+
+
+def constant_str(node: ast.AST) -> str | None:
+    """The value of a string Constant node, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None

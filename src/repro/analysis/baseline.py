@@ -1,0 +1,127 @@
+"""The committed lint baseline: sanctioned, documented violations.
+
+A baseline entry pins one *pre-existing* finding by ``(code, path,
+message)`` — line numbers are deliberately not part of the match, so
+unrelated edits to a file do not invalidate its entries.  Every entry
+must carry a non-empty ``reason``: the baseline doubles as the ledger
+of why each sanctioned violation is allowed to exist (the
+engine-literal fallback for pre-registry checkpoints, the schema
+fingerprints that must be consciously re-acknowledged on change).
+
+The file can only shrink honestly: an entry that stops matching any
+current finding is reported as a stale-entry finding by the engine, so
+fixing a sanctioned violation forces the entry's removal in the same
+change.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.engine import Finding
+
+#: Schema version of the baseline file.
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed (schema, versions, reasons)."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One sanctioned finding: what it is, where, and why it may stay."""
+
+    code: str
+    path: str
+    match: str
+    reason: str
+
+    def sanctions(self, finding: Finding) -> bool:
+        return (
+            finding.code == self.code
+            and finding.path == self.path
+            and finding.message == self.match
+        )
+
+
+class Baseline:
+    """A loaded set of baseline entries, with stale-entry tracking."""
+
+    def __init__(self, entries: Iterable[BaselineEntry], path: str) -> None:
+        self.entries = tuple(entries)
+        self.path = path
+
+    def sanctions(self, finding: Finding) -> bool:
+        """Whether any entry sanctions ``finding``."""
+        return any(entry.sanctions(finding) for entry in self.entries)
+
+    def stale_entries(
+        self, findings: Iterable[Finding]
+    ) -> tuple[BaselineEntry, ...]:
+        """Entries that sanction none of ``findings`` (must be removed)."""
+        found = list(findings)
+        return tuple(
+            entry
+            for entry in self.entries
+            if not any(entry.sanctions(f) for f in found)
+        )
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Read and validate a baseline file.
+
+    Raises:
+        BaselineError: On unreadable JSON, an unknown version, missing
+            fields, or an entry without a documented reason.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"{path}: cannot read baseline: {exc}") from exc
+    if payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"{path}: unsupported baseline version {payload.get('version')!r}"
+        )
+    entries = []
+    for i, item in enumerate(payload.get("entries", [])):
+        missing = {"code", "path", "match", "reason"} - set(item)
+        if missing:
+            raise BaselineError(
+                f"{path}: entry {i} is missing fields {sorted(missing)}"
+            )
+        if not str(item["reason"]).strip():
+            raise BaselineError(
+                f"{path}: entry {i} ({item['code']} at {item['path']}) has "
+                "no reason; every baselined violation must be documented"
+            )
+        entries.append(
+            BaselineEntry(
+                code=item["code"], path=item["path"],
+                match=item["match"], reason=item["reason"],
+            )
+        )
+    return Baseline(entries, path=path.as_posix())
+
+
+def write_baseline(
+    path: str | Path, entries: Iterable[BaselineEntry]
+) -> Path:
+    """Serialise entries to a baseline file (sorted, stable layout)."""
+    path = Path(path)
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {
+                "code": e.code, "path": e.path,
+                "match": e.match, "reason": e.reason,
+            }
+            for e in sorted(entries, key=lambda e: (e.path, e.code, e.match))
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,442 @@
+"""The ``repro lint`` rule engine: findings, suppressions, the runner.
+
+This module is deliberately dependency-free (stdlib ``ast`` only) so
+the lint gate never needs more than the interpreter CI already has.
+It provides the machinery; the project's actual contracts live in
+:mod:`repro.analysis.rules` (one module per contract family, each rule
+registered under a stable ``RPR0xx`` code).
+
+Three layers of "this finding is fine" exist, and they are not
+interchangeable:
+
+* ``repro: noqa[RPR0xx]`` in a trailing comment on the flagged line —
+  an *inline* suppression, for the rare spot where a rule is wrong by
+  design.  Blanket ``noqa`` without codes is itself a finding
+  (:data:`META_CODE`), as are suppressions naming unknown codes or
+  suppressing nothing.
+* the committed baseline (:mod:`repro.analysis.baseline`) — sanctioned
+  pre-existing violations, each carrying a written reason.  Baselined
+  findings are still reported (JSON output marks them) but do not fail
+  the run; a baseline entry that stops matching anything becomes a
+  finding, so the file can only shrink deliberately.
+* fixing the code — the default.
+
+``RPR000`` is the engine's own hygiene code (syntax errors, malformed
+or unused suppressions, stale baseline entries); it cannot be
+suppressed, by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: Code reserved for the engine's own findings (parse errors,
+#: suppression and baseline hygiene).  Not suppressible.
+META_CODE = "RPR000"
+
+#: Version of the ``--format json`` output envelope.
+JSON_FORMAT_VERSION = 1
+
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*noqa\b(\[(?P<codes>[^\]]*)\])?")
+_CODE_RE = re.compile(r"^RPR\d{3}$")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a file location.
+
+    ``baselined`` findings are sanctioned by the committed baseline:
+    reported, but not counted against the exit code.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    baselined: bool = False
+
+    def render(self) -> str:
+        mark = "  [baselined]" if self.baselined else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} {self.message}{mark}"
+        )
+
+
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+
+    def finding(self, code: str, node: ast.AST | int, message: str) -> Finding:
+        """A :class:`Finding` anchored at ``node`` (or a 1-based line)."""
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+        return Finding(
+            path=self.path, line=line, col=col, code=code, message=message
+        )
+
+    def docstring_nodes(self) -> set[int]:
+        """``id``s of every Constant node that is a docstring."""
+        out: set[int] = set()
+        for scope in ast.walk(self.tree):
+            if not isinstance(
+                scope,
+                (ast.Module, ast.ClassDef, ast.FunctionDef,
+                 ast.AsyncFunctionDef),
+            ):
+                continue
+            body = scope.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                out.add(id(body[0].value))
+        return out
+
+
+class Rule:
+    """Base class of every registered contract rule.
+
+    Subclasses set :attr:`code` (stable ``RPR0xx`` identifier),
+    :attr:`name` (short slug used in docs), :attr:`rationale` (one
+    paragraph of *why* — surfaced by the rule catalogue), and the path
+    scope, then implement :meth:`check`.
+    """
+
+    code: str = ""
+    name: str = ""
+    rationale: str = ""
+    #: Path prefixes (or exact relative paths) the rule applies to;
+    #: empty means every linted file.
+    include: tuple[str, ...] = ()
+    #: Path prefixes carved back out of :attr:`include`.
+    exclude: tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        if any(path.startswith(prefix) for prefix in self.exclude):
+            return False
+        if not self.include:
+            return True
+        return any(path.startswith(prefix) for prefix in self.include)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule instance to the registry.
+
+    Codes must be unique and well-formed; registration order is the
+    reporting order for same-location findings.
+    """
+    rule = cls()
+    if not _CODE_RE.match(rule.code):
+        raise ValueError(f"malformed rule code {rule.code!r} on {cls.__name__}")
+    if rule.code in _RULES:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    _RULES[rule.code] = rule
+    return cls
+
+
+def _ensure_builtin_rules() -> None:
+    # Importing the rules package registers every builtin rule; done
+    # lazily so `engine` has no import cycle with its own rule modules.
+    import repro.analysis.rules  # noqa: F401
+
+
+def registered_rules() -> tuple[Rule, ...]:
+    """Every registered rule, code-ordered (includes builtin rules)."""
+    _ensure_builtin_rules()
+    return tuple(_RULES[code] for code in sorted(_RULES))
+
+
+def rule_codes() -> tuple[str, ...]:
+    """The sorted codes of every registered rule (``RPR000`` included)."""
+    return tuple(rule.code for rule in registered_rules())
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``repro: noqa`` comment occurrence."""
+
+    line: int
+    codes: tuple[str, ...]
+
+
+def parse_suppressions(
+    lines: Sequence[str],
+) -> tuple[list[Suppression], list[tuple[int, str]]]:
+    """Scan source lines for inline suppressions.
+
+    Returns ``(suppressions, malformed)`` where ``malformed`` holds
+    ``(line, message)`` pairs for comments that look like suppressions
+    but do not parse: blanket ``noqa`` without codes, empty brackets,
+    or codes not shaped ``RPR0xx``.  Matching is line-based, so the
+    comment must sit on the flagged line itself.
+    """
+    suppressions: list[Suppression] = []
+    malformed: list[tuple[int, str]] = []
+    for i, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        raw = match.group("codes")
+        if raw is None:
+            malformed.append(
+                (i, "blanket `repro: noqa` comments are not allowed; "
+                    "name the suppressed codes, e.g. `repro: "
+                    "noqa[RPR001]`")
+            )
+            continue
+        codes = tuple(c.strip().upper() for c in raw.split(",") if c.strip())
+        bad = [c for c in codes if not _CODE_RE.match(c)]
+        if not codes or bad:
+            what = f"malformed code(s) {bad}" if bad else "no codes"
+            malformed.append(
+                (i, f"unparseable suppression ({what}); expected "
+                    "`repro: noqa[RPR0xx]` or a comma-separated list "
+                    "of codes")
+            )
+            continue
+        suppressions.append(Suppression(line=i, codes=codes))
+    return suppressions, malformed
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding]
+    files: int
+
+    @property
+    def new_findings(self) -> list[Finding]:
+        """Findings not sanctioned by the baseline (these fail the run)."""
+        return [f for f in self.findings if not f.baselined]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.new_findings else 0
+
+    def to_json(self) -> dict:
+        """The ``--format json`` envelope (schema-versioned)."""
+        return {
+            "version": JSON_FORMAT_VERSION,
+            "summary": {
+                "files": self.files,
+                "findings": len(self.findings),
+                "new": len(self.new_findings),
+                "baselined": len(self.findings) - len(self.new_findings),
+            },
+            "findings": [
+                {
+                    "code": f.code,
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "message": f.message,
+                    "baselined": f.baselined,
+                }
+                for f in self.findings
+            ],
+        }
+
+    def render_text(self) -> str:
+        new = self.new_findings
+        lines = [f.render() for f in new]
+        lines.append(
+            f"{len(new)} finding(s) in {self.files} file(s) "
+            f"({len(self.findings) - len(new)} baselined)"
+        )
+        return "\n".join(lines)
+
+
+def result_from_json(payload: dict) -> LintResult:
+    """Rebuild a :class:`LintResult` from :meth:`LintResult.to_json`.
+
+    Raises:
+        ValueError: On an unknown envelope version or malformed payload.
+    """
+    if payload.get("version") != JSON_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported lint JSON version {payload.get('version')!r}"
+        )
+    findings = [
+        Finding(
+            path=item["path"],
+            line=int(item["line"]),
+            col=int(item["col"]),
+            code=item["code"],
+            message=item["message"],
+            baselined=bool(item["baselined"]),
+        )
+        for item in payload["findings"]
+    ]
+    return LintResult(findings=findings, files=int(payload["summary"]["files"]))
+
+
+def check_file(path: str, source: str) -> list[Finding]:
+    """Run every applicable rule over one file's source.
+
+    Applies inline suppressions (and reports their hygiene under
+    ``RPR000``) but knows nothing about the baseline — the caller
+    layers that on.  ``path`` is the repo-relative posix path the
+    rules' scoping matches against.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path, line=exc.lineno or 1, col=exc.offset or 0,
+                code=META_CODE, message=f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(path, source, tree)
+    suppressions, malformed = parse_suppressions(ctx.lines)
+    findings: list[Finding] = [
+        ctx.finding(META_CODE, line, message) for line, message in malformed
+    ]
+
+    raw: list[Finding] = []
+    for rule in registered_rules():
+        if rule.code == META_CODE or not rule.applies_to(path):
+            continue
+        raw.extend(rule.check(ctx))
+
+    known = set(rule_codes())
+    suppressed_at: dict[int, set[str]] = {}
+    for sup in suppressions:
+        suppressed_at.setdefault(sup.line, set()).update(sup.codes)
+
+    used: dict[int, set[str]] = {}
+    for finding in raw:
+        codes_here = suppressed_at.get(finding.line, set())
+        if finding.code in codes_here:
+            used.setdefault(finding.line, set()).add(finding.code)
+            continue
+        findings.append(finding)
+
+    for sup in suppressions:
+        for code in sup.codes:
+            if code == META_CODE:
+                findings.append(
+                    ctx.finding(
+                        META_CODE, sup.line,
+                        f"{META_CODE} (lint hygiene) cannot be suppressed",
+                    )
+                )
+            elif code not in known:
+                findings.append(
+                    ctx.finding(
+                        META_CODE, sup.line,
+                        f"suppression names unknown rule code {code}",
+                    )
+                )
+            elif code not in used.get(sup.line, set()):
+                findings.append(
+                    ctx.finding(
+                        META_CODE, sup.line,
+                        f"unused suppression: no {code} finding on this line",
+                    )
+                )
+    findings.sort()
+    return findings
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into the ``.py`` files to lint."""
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            yield from sorted(
+                f
+                for f in p.rglob("*.py")
+                if not any(part.startswith(".") or part == "__pycache__"
+                           for part in f.parts)
+            )
+        elif p.suffix == ".py":
+            yield p
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    baseline=None,
+    root: str | Path | None = None,
+) -> LintResult:
+    """Lint files/directories and apply the baseline.
+
+    Args:
+        paths: Files or directories (e.g. ``["src", "tests"]``).
+        baseline: A loaded :class:`repro.analysis.baseline.Baseline`,
+            or ``None`` for no sanctioned findings.
+        root: Directory rule scoping and baseline paths are relative
+            to (defaults to the current working directory).
+
+    Returns:
+        A :class:`LintResult`; stale baseline entries surface as
+        ``RPR000`` findings against the baseline file itself.
+    """
+    root_path = Path(root) if root is not None else Path.cwd()
+    findings: list[Finding] = []
+    files = 0
+    for file_path in iter_python_files(paths):
+        files += 1
+        rel = _relative(file_path, root_path)
+        findings.extend(
+            check_file(rel, file_path.read_text(encoding="utf-8"))
+        )
+    if baseline is not None:
+        findings = [
+            replace(f, baselined=True) if baseline.sanctions(f) else f
+            for f in findings
+        ]
+        for entry in baseline.stale_entries(findings):
+            findings.append(
+                Finding(
+                    path=baseline.path, line=1, col=0, code=META_CODE,
+                    message=(
+                        f"stale baseline entry ({entry.code} at "
+                        f"{entry.path}) matches no current finding; "
+                        "remove it"
+                    ),
+                )
+            )
+    findings.sort()
+    return LintResult(findings=findings, files=files)
+
+
+def lint_source(source: str, path: str) -> list[Finding]:
+    """Lint one in-memory snippet as if it lived at ``path``.
+
+    The fixture-test entry point: rule scoping sees ``path`` exactly
+    as given (use repo-style relative posix paths such as
+    ``src/repro/serve/example.py``).  No baseline is applied.
+    """
+    return check_file(path, source)

@@ -1,0 +1,64 @@
+"""Builtin contract rules — importing this package registers them all.
+
+Each module covers one contract family; each rule carries a stable
+``RPR0xx`` code used by suppressions and the baseline:
+
+========  ==========================  ==================================
+Code      Name                        Module
+========  ==========================  ==================================
+RPR000    lint-hygiene (meta)         emitted by the engine itself
+RPR001    no-global-rng               :mod:`.determinism`
+RPR002    no-wall-clock               :mod:`.determinism`
+RPR003    engine-literal-outside-hdc  :mod:`.engine_boundary`
+RPR004    serve-module-state          :mod:`.serving`
+RPR005    serve-blocking-io           :mod:`.serving`
+RPR006    pipe-structured-errors      :mod:`.serving`
+RPR007    schema-write-read-symmetry  :mod:`.schema`
+RPR008    schema-fingerprint          :mod:`.schema`
+RPR009    packed-dtype-contract       :mod:`.dtype_contracts`
+========  ==========================  ==================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.engine import (
+    META_CODE,
+    FileContext,
+    Finding,
+    Rule,
+    register_rule,
+)
+from repro.analysis.rules import (  # noqa: F401  (import = register)
+    determinism,
+    dtype_contracts,
+    engine_boundary,
+    schema,
+    serving,
+)
+
+
+@register_rule
+class LintHygieneRule(Rule):
+    """RPR000 — the engine's own hygiene findings (meta rule).
+
+    Registered so the code appears in :func:`repro.analysis.rule_codes`
+    and the docs catalogue, but :meth:`check` never runs: the engine
+    emits RPR000 findings itself (syntax errors, malformed/unknown/
+    unused suppressions, stale baseline entries) and refuses to let
+    them be suppressed.
+    """
+
+    code = META_CODE
+    name = "lint-hygiene"
+    rationale = (
+        "Findings about the lint run itself: files that do not parse, "
+        "suppression comments that are blanket/malformed/unused or name "
+        "unknown codes, and baseline entries that no longer match "
+        "anything.  Unsuppressible by construction — a lint gate whose "
+        "own bookkeeping can be silenced is no gate."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())

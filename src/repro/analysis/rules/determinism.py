@@ -1,0 +1,109 @@
+"""Determinism rules: no hidden RNG state, no wall clocks in core code.
+
+Every bit-exactness claim in this repository (cross-engine equivalence,
+chunking invariance, checkpoint round-trips) presumes that randomness
+flows as explicit, seeded :class:`numpy.random.Generator` objects and
+that results never depend on the wall clock.  One stray
+``np.random.seed()`` poisons global state for everything imported
+afterwards; one ``time.time()`` in a compute path makes a property
+test unreproducible.  These rules make the convention machine-checked.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.astutil import (
+    import_aliases,
+    resolve_imported_call,
+    walk_calls,
+)
+from repro.analysis.engine import FileContext, Finding, Rule, register_rule
+
+#: Legacy global-state entry points of ``numpy.random``.  The modern
+#: Generator API (``default_rng``/``Generator``/``SeedSequence``/bit
+#: generators) is the sanctioned replacement and is not listed.
+_NUMPY_LEGACY = frozenset({
+    "seed", "rand", "randn", "randint", "random", "random_sample",
+    "random_integers", "ranf", "sample", "choice", "shuffle",
+    "permutation", "normal", "uniform", "standard_normal", "poisson",
+    "binomial", "beta", "gamma", "exponential", "bytes", "get_state",
+    "set_state", "RandomState",
+})
+
+#: Wall-clock calls (value depends on when the code runs).  Monotonic
+#: interval clocks (``time.perf_counter``/``time.monotonic``) are fine:
+#: they measure durations, they do not leak absolute time into results.
+_WALL_CLOCKS = frozenset({
+    "time.time", "time.time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+
+@register_rule
+class GlobalRandomRule(Rule):
+    """RPR001 — RNG must flow as explicit ``np.random.Generator`` args."""
+
+    code = "RPR001"
+    name = "no-global-rng"
+    rationale = (
+        "Legacy `np.random.*` calls and the stdlib `random` module draw "
+        "from hidden global state, so results depend on import order and "
+        "on every other caller — which silently breaks the bit-exactness "
+        "property suites.  Construct `np.random.default_rng(seed)` at the "
+        "boundary and pass the Generator down explicitly."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        aliases = import_aliases(ctx.tree)
+        for call in walk_calls(ctx.tree):
+            dotted = resolve_imported_call(call.func, aliases)
+            if dotted is None:
+                continue
+            if dotted.startswith("numpy.random."):
+                tail = dotted[len("numpy.random."):]
+                if tail in _NUMPY_LEGACY:
+                    yield ctx.finding(
+                        self.code, call,
+                        f"global-state RNG call `{dotted}` is forbidden; "
+                        "pass an explicit np.random.Generator "
+                        "(np.random.default_rng(seed)) instead",
+                    )
+            elif dotted == "random" or dotted.startswith("random."):
+                yield ctx.finding(
+                    self.code, call,
+                    f"stdlib `random` call `{dotted}` is forbidden "
+                    "(hidden global state); use a seeded "
+                    "np.random.Generator threaded through the call path",
+                )
+
+
+@register_rule
+class WallClockRule(Rule):
+    """RPR002 — wall clocks only in the load generator and benchmarks."""
+
+    code = "RPR002"
+    name = "no-wall-clock"
+    rationale = (
+        "Core paths must be replayable: a `time.time()` or "
+        "`datetime.now()` embedded in results makes two identical runs "
+        "differ.  Interval timing belongs to `time.perf_counter()`; "
+        "absolute time is the business of `serve/loadgen.py` (tick "
+        "pacing) and the benchmarks, nowhere else."
+    )
+    include = ("src/repro/", "examples/")
+    exclude = ("src/repro/serve/loadgen.py",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        aliases = import_aliases(ctx.tree)
+        for call in walk_calls(ctx.tree):
+            dotted = resolve_imported_call(call.func, aliases)
+            if dotted in _WALL_CLOCKS:
+                yield ctx.finding(
+                    self.code, call,
+                    f"wall-clock call `{dotted}` outside "
+                    "serve/loadgen.py and benchmarks/; use "
+                    "time.perf_counter() for durations or accept a "
+                    "timestamp parameter",
+                )

@@ -1,0 +1,183 @@
+"""Packed-domain dtype contracts for the bit-sliced kernels.
+
+The packed engine's bit-sliced operations (`repro.hdc.bitsliced`,
+`repro.hdc.associative`) are only correct on the dtypes they were
+written for: popcounts over ``uint64`` lanes, bundling over ``uint8``
+component vectors.  NumPy will happily broadcast an ``int64`` or
+``bool`` array through the same expressions and produce *plausible*
+garbage — wrong distances, not crashes — so the public entry points
+must pin the dtype themselves with ``np.asarray(x, dtype=...)`` (a
+no-copy view when the caller already complied).
+
+A parameter also counts as validated when it is *forwarded* to a
+sibling method or same-module function that validates its own inputs
+(``classify`` → ``self.distances`` is the canonical case); the rule
+computes that closure as a fixpoint, so only genuinely unguarded
+entry points are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import (
+    functions_with_qualname,
+    import_aliases,
+    positional_params,
+    resolve_call_name,
+    walk_calls,
+)
+from repro.analysis.engine import FileContext, Finding, Rule, register_rule
+
+#: Parameter names that, in the packed-domain modules, carry arrays
+#: with a hard dtype contract.  Scoped to two files on purpose — these
+#: short names are unambiguous *there* and nowhere else.
+_ARRAY_PARAMS = frozenset({
+    "mask", "masks", "planes", "a", "b", "h",
+    "query", "queries", "h_vectors", "prototype", "prototype_stack",
+})
+
+_COERCERS = frozenset({
+    "numpy.asarray", "numpy.ascontiguousarray",
+    "numpy.asanyarray", "numpy.array",
+})
+
+
+def _has_dtype(call: ast.Call) -> bool:
+    if len(call.args) >= 2:
+        return True
+    return any(kw.arg == "dtype" for kw in call.keywords)
+
+
+def _directly_validated(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    aliases: dict[str, str],
+) -> set[str]:
+    """Params coerced in-body via ``np.asarray(p, dtype=...)``/``p.astype``."""
+    validated: set[str] = set()
+    for call in walk_calls(fn):
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "astype"
+            and isinstance(func.value, ast.Name)
+        ):
+            validated.add(func.value.id)
+            continue
+        dotted = resolve_call_name(func, aliases)
+        if (
+            dotted in _COERCERS
+            and _has_dtype(call)
+            and call.args
+            and isinstance(call.args[0], ast.Name)
+        ):
+            validated.add(call.args[0].id)
+    return validated
+
+
+def _forward_targets(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, set[tuple[str | None, str]]]:
+    """For each param name, the sibling/module callees it is passed to.
+
+    Keys of the returned sets are ``(class_name_marker, callee_name)``
+    where the marker is ``"self"`` for ``self.method(...)`` calls and
+    ``None`` for bare-name module calls.
+    """
+    out: dict[str, set[tuple[str | None, str]]] = {}
+    for call in walk_calls(fn):
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+        ):
+            key: tuple[str | None, str] = ("self", func.attr)
+        elif isinstance(func, ast.Name):
+            key = (None, func.id)
+        else:
+            continue
+        passed = [a for a in call.args if isinstance(a, ast.Name)]
+        passed += [
+            kw.value for kw in call.keywords
+            if isinstance(kw.value, ast.Name)
+        ]
+        for name_node in passed:
+            out.setdefault(name_node.id, set()).add(key)
+    return out
+
+
+@register_rule
+class DtypeContractRule(Rule):
+    """RPR009 — packed-domain entry points must pin their array dtypes."""
+
+    code = "RPR009"
+    name = "packed-dtype-contract"
+    rationale = (
+        "Bit-sliced popcounts and bundling are dtype-punning code: fed "
+        "an int64 or bool array they broadcast without error and return "
+        "plausible wrong distances.  Every public function in "
+        "hdc/bitsliced.py and hdc/associative.py therefore coerces its "
+        "array parameters with np.asarray(x, dtype=...) (free when the "
+        "caller complied) or forwards them to a sibling that does."
+    )
+    include = (
+        "src/repro/hdc/bitsliced.py",
+        "src/repro/hdc/associative.py",
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        aliases = import_aliases(ctx.tree)
+        records = []
+        by_key: dict[tuple[str | None, str], int] = {}
+        for qualname, fn, class_name in functions_with_qualname(ctx.tree):
+            params = [
+                p for p in positional_params(fn) if p in _ARRAY_PARAMS
+            ]
+            rec = {
+                "qualname": qualname,
+                "fn": fn,
+                "class": class_name,
+                "params": params,
+                "validated": _directly_validated(fn, aliases) & set(params),
+                "forwards": _forward_targets(fn),
+            }
+            by_key[(class_name, fn.name)] = len(records)
+            records.append(rec)
+
+        def satisfied(rec) -> bool:
+            return set(rec["params"]) <= rec["validated"]
+
+        # Fixpoint: a param forwarded to a fully-satisfied callee is
+        # itself satisfied (the callee coerces on entry).
+        changed = True
+        while changed:
+            changed = False
+            for rec in records:
+                for param in rec["params"]:
+                    if param in rec["validated"]:
+                        continue
+                    for marker, callee in rec["forwards"].get(param, ()):
+                        cls = rec["class"] if marker == "self" else None
+                        idx = by_key.get((cls, callee))
+                        if idx is not None and satisfied(records[idx]):
+                            rec["validated"].add(param)
+                            changed = True
+                            break
+
+        for rec in records:
+            name = rec["fn"].name
+            if name.startswith("_") and name != "__init__":
+                continue  # private helpers may assume coerced inputs
+            if rec["class"] is not None and rec["class"].startswith("_"):
+                continue
+            for param in rec["params"]:
+                if param not in rec["validated"]:
+                    yield ctx.finding(
+                        self.code, rec["fn"],
+                        f"packed-domain parameter `{param}` of "
+                        f"`{rec['qualname']}` is used without a dtype "
+                        "pin; coerce with np.asarray(..., dtype=...) at "
+                        "entry or forward it to a validating sibling",
+                    )

@@ -1,0 +1,241 @@
+"""Checkpoint-schema hygiene for the two persistence formats.
+
+``core/persistence.py`` (model/session/fleet checkpoints) and
+``evaluation/benchrec.py`` (the benchmark-record envelope) each define
+an on-disk schema guarded by a version constant.  Two failure modes
+recur in such code:
+
+* a writer gains a payload key no reader ever looks at (or a reader
+  typo makes a written key unreachable) — drift the round-trip tests
+  only catch for the code paths they exercise;
+* the key set changes but the schema version does not, so old readers
+  "successfully" load new files into nonsense.
+
+RPR007 checks write/read symmetry statically.  RPR008 emits a stable
+fingerprint of the key set + version constants as an always-on finding
+that the committed baseline must acknowledge: change the keys and the
+fingerprint changes, CI fails, and the only way to green is to bump
+the version constant and consciously re-baseline — the version bump is
+enforced by review of that diff, machine-prompted every time.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from typing import Iterator
+
+from repro.analysis.astutil import (
+    constant_str,
+    dotted_name,
+    functions_with_qualname,
+    module_level_statements,
+)
+from repro.analysis.engine import FileContext, Finding, Rule, register_rule
+
+_SCHEMA_FILES = (
+    "src/repro/core/persistence.py",
+    "src/repro/evaluation/benchrec.py",
+)
+
+_WRITER_RE = re.compile(r"(^|_)(save|write|dump|emit)")
+_READER_RE = re.compile(r"(^|_)(load|read|parse|validate|rebuild|build)")
+_VERSION_RE = re.compile(r"^_?[A-Z0-9_]*VERSION$")
+#: Module-level dict constants that *are* the schema (e.g. ``_FIELDS``).
+_SCHEMA_DICT_RE = re.compile(r"^_?[A-Z0-9_]*(FIELDS|SCHEMA|KEYS)[A-Z0-9_]*$")
+
+
+def _is_writer(name: str) -> bool:
+    short = name.rsplit(".", 1)[-1]
+    if _WRITER_RE.search(short):
+        return True
+    if short.endswith(("_meta", "_spec")):
+        return True
+    return short.endswith("_payload") and "from" not in short
+
+
+def _is_reader(name: str) -> bool:
+    short = name.rsplit(".", 1)[-1]
+    return bool(_READER_RE.search(short)) or "from_payload" in short
+
+
+def _dict_literal_keys(node: ast.AST) -> Iterator[tuple[str, ast.AST]]:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Dict):
+            for key in sub.keys:
+                value = constant_str(key) if key is not None else None
+                if value is not None:
+                    yield value, key
+
+
+def _written_keys(fn: ast.AST) -> Iterator[tuple[str, ast.AST]]:
+    """Constant keys a writer function emits."""
+    yield from _dict_literal_keys(fn)
+    for sub in ast.walk(fn):
+        # d["key"] = ... stores
+        if isinstance(sub, ast.Assign):
+            for target in sub.targets:
+                if isinstance(target, ast.Subscript):
+                    value = constant_str(target.slice)
+                    if value is not None:
+                        yield value, target
+        # np.savez*(path, key=array, ...) keyword names
+        elif isinstance(sub, ast.Call):
+            dotted = dotted_name(sub.func) or ""
+            if "savez" in dotted:
+                for kw in sub.keywords:
+                    if kw.arg is not None:
+                        yield kw.arg, sub
+
+
+def _read_keys(tree: ast.AST) -> set[str]:
+    """Every constant key the module could read back."""
+    keys: set[str] = set()
+    for sub in ast.walk(tree):
+        if isinstance(sub, ast.Subscript):
+            value = constant_str(sub.slice)
+            if value is not None:
+                keys.add(value)
+        elif (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == "get"
+            and sub.args
+        ):
+            value = constant_str(sub.args[0])
+            if value is not None:
+                keys.add(value)
+    return keys
+
+
+def _reader_strings(tree: ast.Module) -> set[str]:
+    """All string constants inside reader functions (membership loops,
+    tuple iterations and comparisons all count as 'read side knows the
+    key')."""
+    out: set[str] = set()
+    for qualname, fn, _cls in functions_with_qualname(tree):
+        if _is_reader(qualname):
+            for sub in ast.walk(fn):
+                value = constant_str(sub)
+                if value is not None:
+                    out.add(value)
+    return out
+
+
+def _version_constants(tree: ast.Module) -> list[tuple[str, object, int]]:
+    out = []
+    for stmt in module_level_statements(tree):
+        if not isinstance(stmt, ast.Assign):
+            continue
+        for target in stmt.targets:
+            if (
+                isinstance(target, ast.Name)
+                and _VERSION_RE.match(target.id)
+                and isinstance(stmt.value, ast.Constant)
+            ):
+                out.append((target.id, stmt.value.value, stmt.lineno))
+    return out
+
+
+def _schema_dict_keys(tree: ast.Module) -> set[str]:
+    keys: set[str] = set()
+    for stmt in module_level_statements(tree):
+        targets = []
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        else:
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and _SCHEMA_DICT_RE.match(target.id)
+            ):
+                keys.update(k for k, _node in _dict_literal_keys(value))
+    return keys
+
+
+@register_rule
+class SchemaSymmetryRule(Rule):
+    """RPR007 — every written checkpoint key must be readable back."""
+
+    code = "RPR007"
+    name = "schema-write-read-symmetry"
+    rationale = (
+        "A payload key written by save_*/write_*/*_payload code that no "
+        "reader ever subscripts is either dead weight in every "
+        "checkpoint or — worse — a reader-side typo; both are schema "
+        "drift the round-trip tests only catch on the paths they "
+        "exercise.  Write it and read it, or delete it and bump the "
+        "schema version."
+    )
+    include = _SCHEMA_FILES
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        readable = _read_keys(ctx.tree) | _reader_strings(ctx.tree)
+        reported: set[str] = set()
+        for qualname, fn, _cls in functions_with_qualname(ctx.tree):
+            if not _is_writer(qualname) or _is_reader(qualname):
+                continue
+            for key, node in _written_keys(fn):
+                if key in readable or key in reported:
+                    continue
+                reported.add(key)
+                yield ctx.finding(
+                    self.code, node,
+                    f"checkpoint key {key!r} (written by `{qualname}`) is "
+                    "never read back anywhere in this module; remove it "
+                    "or read it symmetrically, and bump the schema "
+                    "version either way",
+                )
+
+
+@register_rule
+class SchemaFingerprintRule(Rule):
+    """RPR008 — key-set changes must bump the schema version constant."""
+
+    code = "RPR008"
+    name = "schema-fingerprint"
+    rationale = (
+        "The schema files' key sets are fingerprinted into an always-on "
+        "finding that the committed baseline acknowledges.  Adding, "
+        "renaming or removing a key changes the fingerprint, which "
+        "fails CI until the baseline entry is updated — and the entry's "
+        "message embeds the version constants, so the diff that "
+        "re-baselines without bumping a version is visibly wrong in "
+        "review.  This is how 'bump the version when the key set "
+        "changes' became machine-prompted instead of folklore."
+    )
+    include = _SCHEMA_FILES
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        versions = _version_constants(ctx.tree)
+        if not versions:
+            yield ctx.finding(
+                self.code, 1,
+                "checkpoint-schema module defines no *_VERSION constant; "
+                "every on-disk format needs a version gate",
+            )
+            return
+        keys: set[str] = set(_schema_dict_keys(ctx.tree))
+        for qualname, fn, _cls in functions_with_qualname(ctx.tree):
+            if _is_writer(qualname):
+                keys.update(k for k, _node in _written_keys(fn))
+            if _is_reader(qualname):
+                keys.update(_read_keys(fn))
+        digest = hashlib.sha256(
+            repr((sorted(keys), sorted((n, v) for n, v, _l in versions)))
+            .encode("utf-8")
+        ).hexdigest()[:12]
+        version_text = ", ".join(f"{n}={v!r}" for n, v, _l in sorted(
+            (n, v, line) for n, v, line in versions
+        ))
+        yield ctx.finding(
+            self.code, versions[0][2],
+            f"schema fingerprint {digest} ({len(keys)} keys under "
+            f"{version_text}); if this changed, bump the matching "
+            "version constant and update the baseline entry in the "
+            "same commit",
+        )

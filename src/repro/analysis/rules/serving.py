@@ -1,0 +1,214 @@
+"""Serving fork-safety rules for :mod:`repro.serve`.
+
+Shard workers are forked child processes driven through pipes in a
+strict dispatch/collect lockstep.  Three classes of bug wedge or skew
+a fleet without any test noticing until it runs multi-process:
+
+* module-level mutable state — silently *duplicated* by fork, so the
+  parent and every worker mutate divergent copies;
+* stray stdout writes or sleeps in the tick path — a ``print`` inside
+  a worker loop interleaves across processes and stalls the lockstep
+  round a gateway tick is built on;
+* raw exception objects sent over a pipe — exceptions pickle
+  unreliably (and unpickle worse), so the gateway hangs on ``recv``
+  instead of reporting the worker's failure.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import (
+    import_aliases,
+    module_level_statements,
+    resolve_call_name,
+    walk_calls,
+)
+from repro.analysis.engine import FileContext, Finding, Rule, register_rule
+
+_MUTABLE_BUILTINS = frozenset({
+    "list", "dict", "set", "bytearray",
+    "collections.defaultdict", "collections.deque",
+    "collections.OrderedDict", "collections.Counter",
+})
+
+#: Process-shared primitives that must never be created at import time
+#: (fork order would decide which processes actually share them).
+_PROCESS_PRIMITIVES = ("multiprocessing.", "threading.")
+
+_IMMUTABLE_WRAPPERS = frozenset({
+    "types.MappingProxyType", "frozenset", "tuple",
+})
+
+_STDOUT_CALLS = frozenset({
+    "sys.stdout.write", "sys.stderr.write", "sys.stdout.flush",
+})
+
+#: Files forming the per-tick worker path, where even a sleep is a
+#: lockstep stall (the load generator legitimately sleeps to pace).
+_TICK_PATH_FILES = (
+    "src/repro/serve/worker.py",
+    "src/repro/serve/gateway.py",
+)
+
+
+def _mutable_value(node: ast.AST, aliases: dict[str, str]) -> str | None:
+    """Describe why a module-level value is mutable, or ``None``."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return "a mutable container literal"
+    if isinstance(node, ast.Call):
+        dotted = resolve_call_name(node.func, aliases)
+        if dotted is None:
+            return None
+        if dotted in _IMMUTABLE_WRAPPERS:
+            return None
+        if dotted in _MUTABLE_BUILTINS:
+            return f"a `{dotted}()` container"
+        if dotted.startswith(_PROCESS_PRIMITIVES):
+            return f"an import-time `{dotted}()` primitive"
+    return None
+
+
+@register_rule
+class ServeModuleStateRule(Rule):
+    """RPR004 — no module-level mutable state in ``repro.serve``."""
+
+    code = "RPR004"
+    name = "serve-module-state"
+    rationale = (
+        "repro.serve modules are imported once and then forked into "
+        "shard workers.  Module-level mutable containers become "
+        "divergent per-process copies (state the gateway thinks is "
+        "shared, but is not), and multiprocessing/threading primitives "
+        "built at import time bind to whichever start method imported "
+        "them first.  Keep state on the worker/gateway objects; wrap "
+        "module-level tables in MappingProxyType or tuples."
+    )
+    include = ("src/repro/serve/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        aliases = import_aliases(ctx.tree)
+        for stmt in module_level_statements(ctx.tree):
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            names = [
+                t.id for t in targets
+                if isinstance(t, ast.Name)
+                and not (t.id.startswith("__") and t.id.endswith("__"))
+            ]
+            if not names:
+                continue
+            why = _mutable_value(value, aliases)
+            if why is not None:
+                yield ctx.finding(
+                    self.code, stmt,
+                    f"module-level `{names[0]}` is {why}; fork duplicates "
+                    "it per worker — make it immutable "
+                    "(tuple/frozenset/MappingProxyType) or move it onto "
+                    "the worker object",
+                )
+
+
+@register_rule
+class ServeBlockingIoRule(Rule):
+    """RPR005 — no prints/stdout writes/sleeps in the serve tick path."""
+
+    code = "RPR005"
+    name = "serve-blocking-io"
+    rationale = (
+        "Gateway ticks are a lockstep dispatch/collect round across all "
+        "shard workers: one worker printing (stdout is line-buffered and "
+        "interleaves across processes) or sleeping stalls every session "
+        "on that tick.  Results travel as returned values and TickStats, "
+        "never as stdout; pacing sleeps belong to the load generator."
+    )
+    include = ("src/repro/serve/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        aliases = import_aliases(ctx.tree)
+        in_tick_path = ctx.path in _TICK_PATH_FILES
+        for call in walk_calls(ctx.tree):
+            dotted = resolve_call_name(call.func, aliases)
+            if dotted is None:
+                continue
+            if dotted in ("print", "input", "breakpoint"):
+                yield ctx.finding(
+                    self.code, call,
+                    f"`{dotted}()` in repro.serve; worker/gateway output "
+                    "must flow through returned events and TickStats, "
+                    "not stdout",
+                )
+            elif dotted in _STDOUT_CALLS:
+                yield ctx.finding(
+                    self.code, call,
+                    f"direct `{dotted}()` in repro.serve; shard processes "
+                    "must not write to the shared stdout/stderr streams",
+                )
+            elif dotted == "time.sleep" and in_tick_path:
+                yield ctx.finding(
+                    self.code, call,
+                    "`time.sleep()` in the worker/gateway tick path "
+                    "stalls the lockstep tick round for every session; "
+                    "pacing belongs to serve/loadgen.py",
+                )
+
+
+@register_rule
+class PipeExceptionRule(Rule):
+    """RPR006 — structured errors only across pipe transports."""
+
+    code = "RPR006"
+    name = "pipe-structured-errors"
+    rationale = (
+        "A caught exception object sent through a multiprocessing pipe "
+        "must pickle on one side and unpickle on the other; third-party "
+        "and numpy-carrying exceptions routinely fail one of the two, "
+        "which surfaces as the gateway hanging in recv() instead of the "
+        "worker's actual error.  Relay `(status, formatted_message)` "
+        "tuples (type, message, traceback.format_exc()) as "
+        "_shard_worker_main does."
+    )
+    include = ("src/repro/serve/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler) or node.name is None:
+                continue
+            exc_name = node.name
+            for call in walk_calls(node):
+                func = call.func
+                if not (isinstance(func, ast.Attribute)
+                        and func.attr == "send"):
+                    continue
+                if any(self._carries(arg, exc_name) for arg in call.args):
+                    yield ctx.finding(
+                        self.code, call,
+                        f"caught exception `{exc_name}` sent raw across a "
+                        "pipe transport; format it to a string (type, "
+                        "message, traceback.format_exc()) so the gateway "
+                        "can always unpickle the reply",
+                    )
+
+    @classmethod
+    def _carries(cls, node: ast.AST, exc_name: str) -> bool:
+        """Whether the send argument *is* (or directly contains) the
+        bare exception object.
+
+        Only the exception name itself, possibly nested in container
+        literals, counts — `str(exc)`, `f"{exc}"` and `exc.args`
+        derive picklable values and are exactly the sanctioned fix.
+        """
+        if isinstance(node, ast.Name):
+            return node.id == exc_name
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return any(cls._carries(e, exc_name) for e in node.elts)
+        if isinstance(node, ast.Dict):
+            parts = [k for k in node.keys if k is not None] + node.values
+            return any(cls._carries(p, exc_name) for p in parts)
+        return False

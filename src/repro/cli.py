@@ -10,11 +10,16 @@ Usage::
     repro-laelaps sessions [--patients 6] [--backend auto]
     repro-laelaps serve [--workers 4] [--mode process]
     repro-laelaps loadtest [--sessions 256] [--out BENCH_load_slo.json]
+    repro-laelaps lint [PATHS ...] [--baseline FILE] [--format json]
 
 (or ``python -m repro ...``).  ``repro --help`` lists every sub-command
 with a one-line description; unknown sub-commands exit non-zero with
 the list of valid choices.  See EXPERIMENTS.md for the recorded runs
 and ``docs/serving.md`` for the serving demos.
+
+Sub-commands live in one :data:`COMMANDS` registry (name, help line,
+argument wiring, handler); the parser, ``--help`` text and the CLI
+tests all derive from it, so they cannot drift apart.
 """
 
 from __future__ import annotations
@@ -22,9 +27,17 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.evaluation.report import render_table
-from repro.hdc.engine import backend_choices
+from repro.hdc.engine import UNPACKED_ENGINE, backend_choices
+
+#: Default lint targets, mirroring the CI static-analysis job.
+LINT_DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples")
+
+#: Default committed-baseline file, used when it exists.
+LINT_DEFAULT_BASELINE = "lint-baseline.json"
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -34,7 +47,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     methods = default_methods(
         dim=args.dim, include=include, backend=args.backend
     )
-    start = time.time()
+    start = time.perf_counter()
     result = run_table1(
         methods,
         hours_scale=1.0 / args.scale,
@@ -52,7 +65,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
             f"mean sensitivity {100 * summary['mean_sensitivity']:.1f} %, "
             f"mean delay {summary['mean_delay_s']:.1f} s"
         )
-    print(f"\n[total wall time {time.time() - start:.0f} s, "
+    print(f"\n[total wall time {time.perf_counter() - start:.0f} s, "
           f"duration scale 1/{args.scale:.0f}, fs {args.fs:.0f} Hz]")
     return 0
 
@@ -172,9 +185,9 @@ def _cmd_sessions(args: argparse.Namespace) -> int:
         f"streaming {args.patients} concurrent sessions "
         f"({duration:.0f} s each, 0.5 s ticks, shared batched sweeps) ..."
     )
-    start = time.time()
+    start = time.perf_counter()
     events = manager.run(signals, chunk)
-    elapsed = time.time() - start
+    elapsed = time.perf_counter() - start
     n_windows = sum(len(v) for v in events.values())
     for patient_id in sorted(events):
         alarms = [e.time_s for e in events[patient_id] if e.alarm]
@@ -213,7 +226,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"serving {args.patients} sessions on {args.workers} "
         f"{args.mode} workers (0.5 s ticks) ..."
     )
-    start = time.time()
+    start = time.perf_counter()
     gateway = ShardedStreamGateway(args.workers, mode=args.mode)
     for patient_id, detector in detectors.items():
         gateway.open(patient_id, detector)
@@ -238,7 +251,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     for patient_id, new_events in second.items():
         events[patient_id].extend(new_events)
-    elapsed = time.time() - start
+    elapsed = time.perf_counter() - start
     n_windows = sum(len(v) for v in events.values())
     for patient_id in sorted(events):
         alarms = [e.time_s for e in events[patient_id] if e.alarm]
@@ -347,6 +360,158 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis import lint_paths, load_baseline
+
+    baseline = None
+    baseline_path = args.baseline
+    if baseline_path is None:
+        if Path(LINT_DEFAULT_BASELINE).exists():
+            baseline_path = LINT_DEFAULT_BASELINE
+    elif not Path(baseline_path).exists():
+        print(f"baseline file not found: {baseline_path}", file=sys.stderr)
+        return 2
+    if baseline_path is not None:
+        baseline = load_baseline(baseline_path)
+    result = lint_paths(args.paths, baseline=baseline)
+    if args.format == "json":
+        print(json.dumps(result.to_json(), indent=2))
+    else:
+        print(result.render_text())
+    return result.exit_code
+
+
+def _args_table1(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scale", type=float, default=720.0,
+                   help="duration scale divisor (default 720: 1 h -> 5 s)")
+    p.add_argument("--fs", type=float, default=256.0)
+    p.add_argument("--dim", type=int, default=1_000)
+    p.add_argument("--methods", default="laelaps,svm,cnn,lstm")
+    p.add_argument("--backend", choices=backend_choices(),
+                   default=UNPACKED_ENGINE,
+                   help="Laelaps compute engine (bit-exact on every "
+                        "engine; see `repro backends`)")
+    p.add_argument("--verbose", action="store_true")
+
+
+def _args_fig3(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--electrodes", type=int, default=64)
+
+
+def _args_backends(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--dim", type=int, default=10_000,
+                   help="dimension for the reported window widths")
+
+
+def _args_sessions(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--patients", type=int, default=6,
+                   help="number of concurrent patient streams")
+    p.add_argument("--seconds", type=float, default=120.0,
+                   help="synthetic recording length per patient")
+    p.add_argument("--dim", type=int, default=2_000)
+    p.add_argument("--backend", choices=backend_choices(),
+                   default="auto",
+                   help="compute engine of the demo detectors")
+
+
+def _args_serve(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--patients", type=int, default=6,
+                   help="number of concurrent patient streams")
+    p.add_argument("--workers", type=int, default=2,
+                   help="shard worker pool size")
+    p.add_argument("--mode", choices=("inline", "process"),
+                   default="process",
+                   help="shard transport (inline = single process)")
+    p.add_argument("--seconds", type=float, default=120.0,
+                   help="synthetic recording length per patient")
+    p.add_argument("--dim", type=int, default=2_000)
+    p.add_argument("--backend", choices=backend_choices(),
+                   default="auto",
+                   help="compute engine of the demo detectors")
+
+
+def _args_loadtest(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--sessions", type=int, default=64,
+                   help="concurrent patient sessions")
+    p.add_argument("--workers", type=int, default=2,
+                   help="shard worker pool size")
+    p.add_argument("--mode", choices=("inline", "process"),
+                   default="inline",
+                   help="shard transport (inline = single process)")
+    p.add_argument("--ticks", type=int, default=40,
+                   help="measured steady-state ticks")
+    p.add_argument("--dim", type=int, default=2_000)
+    p.add_argument("--rate", type=float, default=0.0,
+                   help="tick pacing as a multiple of real time "
+                        "(0 = as fast as possible)")
+    p.add_argument("--backend", choices=backend_choices(),
+                   default="auto",
+                   help="compute engine of the served models")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the run as a benchrec JSON record")
+    p.add_argument("--check", metavar="BASELINE",
+                   help="compare against a committed BENCH_*.json "
+                        "baseline (report-only deltas)")
+
+
+def _args_lint(p: argparse.ArgumentParser) -> None:
+    p.add_argument("paths", nargs="*", default=list(LINT_DEFAULT_PATHS),
+                   help="files/directories to lint "
+                        f"(default: {' '.join(LINT_DEFAULT_PATHS)})")
+    p.add_argument("--baseline", metavar="FILE",
+                   help="sanctioned-findings file (default: "
+                        f"{LINT_DEFAULT_BASELINE} when present)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="output format (json is the schema-versioned "
+                        "machine envelope)")
+
+
+@dataclass(frozen=True)
+class CommandSpec:
+    """One sub-command: the single source the parser and tests share."""
+
+    name: str
+    help: str
+    handler: Callable[[argparse.Namespace], int]
+    configure: Callable[[argparse.ArgumentParser], None] | None = None
+
+
+#: Every sub-command, in ``--help`` display order.  Add commands here —
+#: ``main`` wires the registry into argparse and ``tests/test_cli.py``
+#: asserts help/error output against :func:`command_names`.
+COMMANDS: tuple[CommandSpec, ...] = (
+    CommandSpec("table1", "per-patient detection results",
+                _cmd_table1, _args_table1),
+    CommandSpec("table2", "TX2 time/energy per classification", _cmd_table2),
+    CommandSpec("fig3", "FDR vs energy scatter (64 electrodes)",
+                _cmd_fig3, _args_fig3),
+    CommandSpec("scaling", "electrode-count scaling sweep", _cmd_scaling),
+    CommandSpec("backends",
+                "list registered compute engines (capabilities, word layout)",
+                _cmd_backends, _args_backends),
+    CommandSpec("sessions",
+                "multi-patient stream-serving demo (batched sweeps)",
+                _cmd_sessions, _args_sessions),
+    CommandSpec("serve",
+                "sharded multi-worker serving demo (checkpoint + rebalance)",
+                _cmd_serve, _args_serve),
+    CommandSpec("loadtest",
+                "load-test the sharded gateway (latency SLO harness)",
+                _cmd_loadtest, _args_loadtest),
+    CommandSpec("lint",
+                "run the project's static-analysis contract rules",
+                _cmd_lint, _args_lint),
+)
+
+
+def command_names() -> tuple[str, ...]:
+    """Registered sub-command names, ``--help`` display-ordered."""
+    return tuple(spec.name for spec in COMMANDS)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of ``repro-laelaps``."""
     parser = argparse.ArgumentParser(
@@ -362,97 +527,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True,
                                 title="commands")
-
-    p1 = sub.add_parser("table1", help="per-patient detection results")
-    p1.add_argument("--scale", type=float, default=720.0,
-                    help="duration scale divisor (default 720: 1 h -> 5 s)")
-    p1.add_argument("--fs", type=float, default=256.0)
-    p1.add_argument("--dim", type=int, default=1_000)
-    p1.add_argument("--methods", default="laelaps,svm,cnn,lstm")
-    p1.add_argument("--backend", choices=backend_choices(),
-                    default="unpacked",
-                    help="Laelaps compute engine (bit-exact on every "
-                         "engine; see `repro backends`)")
-    p1.add_argument("--verbose", action="store_true")
-    p1.set_defaults(func=_cmd_table1)
-
-    p2 = sub.add_parser("table2", help="TX2 time/energy per classification")
-    p2.set_defaults(func=_cmd_table2)
-
-    p3 = sub.add_parser("fig3", help="FDR vs energy scatter (64 electrodes)")
-    p3.add_argument("--electrodes", type=int, default=64)
-    p3.set_defaults(func=_cmd_fig3)
-
-    p4 = sub.add_parser("scaling", help="electrode-count scaling sweep")
-    p4.set_defaults(func=_cmd_scaling)
-
-    pb = sub.add_parser(
-        "backends",
-        help="list registered compute engines (capabilities, word layout)",
-    )
-    pb.add_argument("--dim", type=int, default=10_000,
-                    help="dimension for the reported window widths")
-    pb.set_defaults(func=_cmd_backends)
-
-    p5 = sub.add_parser(
-        "sessions",
-        help="multi-patient stream-serving demo (batched sweeps)",
-    )
-    p5.add_argument("--patients", type=int, default=6,
-                    help="number of concurrent patient streams")
-    p5.add_argument("--seconds", type=float, default=120.0,
-                    help="synthetic recording length per patient")
-    p5.add_argument("--dim", type=int, default=2_000)
-    p5.add_argument("--backend", choices=backend_choices(),
-                    default="auto",
-                    help="compute engine of the demo detectors")
-    p5.set_defaults(func=_cmd_sessions)
-
-    p6 = sub.add_parser(
-        "serve",
-        help="sharded multi-worker serving demo (checkpoint + rebalance)",
-    )
-    p6.add_argument("--patients", type=int, default=6,
-                    help="number of concurrent patient streams")
-    p6.add_argument("--workers", type=int, default=2,
-                    help="shard worker pool size")
-    p6.add_argument("--mode", choices=("inline", "process"),
-                    default="process",
-                    help="shard transport (inline = single process)")
-    p6.add_argument("--seconds", type=float, default=120.0,
-                    help="synthetic recording length per patient")
-    p6.add_argument("--dim", type=int, default=2_000)
-    p6.add_argument("--backend", choices=backend_choices(),
-                    default="auto",
-                    help="compute engine of the demo detectors")
-    p6.set_defaults(func=_cmd_serve)
-
-    p7 = sub.add_parser(
-        "loadtest",
-        help="load-test the sharded gateway (latency SLO harness)",
-    )
-    p7.add_argument("--sessions", type=int, default=64,
-                    help="concurrent patient sessions")
-    p7.add_argument("--workers", type=int, default=2,
-                    help="shard worker pool size")
-    p7.add_argument("--mode", choices=("inline", "process"),
-                    default="inline",
-                    help="shard transport (inline = single process)")
-    p7.add_argument("--ticks", type=int, default=40,
-                    help="measured steady-state ticks")
-    p7.add_argument("--dim", type=int, default=2_000)
-    p7.add_argument("--rate", type=float, default=0.0,
-                    help="tick pacing as a multiple of real time "
-                         "(0 = as fast as possible)")
-    p7.add_argument("--backend", choices=backend_choices(),
-                    default="auto",
-                    help="compute engine of the served models")
-    p7.add_argument("--out", metavar="PATH",
-                    help="write the run as a benchrec JSON record")
-    p7.add_argument("--check", metavar="BASELINE",
-                    help="compare against a committed BENCH_*.json "
-                         "baseline (report-only deltas)")
-    p7.set_defaults(func=_cmd_loadtest)
+    for spec in COMMANDS:
+        p = sub.add_parser(spec.name, help=spec.help)
+        if spec.configure is not None:
+            spec.configure(p)
+        p.set_defaults(func=spec.handler)
 
     args = parser.parse_args(argv)
     try:

@@ -4,7 +4,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.hdc.engine import backend_choices, resolve_engine_name
+from repro.hdc.engine import (
+    UNPACKED_ENGINE,
+    backend_choices,
+    resolve_engine_name,
+)
 from repro.lbp.codes import LBPConfig
 from repro.signal.windows import WindowSpec
 
@@ -68,7 +72,7 @@ class LaelapsConfig:
     tc: int = 10
     tr: float = 0.0
     seed: int = 0x1AE1A95
-    backend: str = "unpacked"
+    backend: str = UNPACKED_ENGINE
 
     def __post_init__(self) -> None:
         if self.dim < 2:

@@ -45,7 +45,7 @@ class PrototypeAccumulator:
 
     def add(self, h_vectors: np.ndarray) -> "PrototypeAccumulator":
         """Accumulate one ``(d,)`` vector or a ``(k, d)`` batch."""
-        self._bundle.add(h_vectors)
+        self._bundle.add(np.asarray(h_vectors, dtype=np.uint8))
         return self
 
     def finalize(self) -> np.ndarray:
@@ -191,13 +191,13 @@ class AssociativeMemory:
     def train(self, label: int, h_vectors: np.ndarray) -> None:
         """Bundle a batch of H vectors into the prototype of ``label``."""
         acc = PrototypeAccumulator(self.dim)
-        acc.add(h_vectors)
+        acc.add(np.asarray(h_vectors, dtype=np.uint8))
         self.store(label, acc.finalize())
 
     def train_packed(self, label: int, h_vectors: np.ndarray) -> None:
         """Bundle packed H vectors into the prototype of ``label``."""
         acc = PackedPrototypeAccumulator(self.dim)
-        acc.add(h_vectors)
+        acc.add(np.asarray(h_vectors, dtype=np.uint64))
         self.store_packed(label, acc.finalize())
 
     def distances(self, h_vectors: np.ndarray) -> np.ndarray:

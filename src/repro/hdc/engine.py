@@ -54,6 +54,13 @@ from repro.signal.windows import WindowSpec
 #: Registry name of the auto-selecting pseudo-engine.
 AUTO_ENGINE = "auto"
 
+#: Registered engine names.  Layers above ``repro.hdc`` must import
+#: these (or iterate the registry) instead of spelling the literals —
+#: enforced by ``repro lint`` rule RPR003.
+UNPACKED_ENGINE = "unpacked"
+PACKED_ENGINE = "packed"
+PACKED_FUSED_ENGINE = "packed-fused"
+
 #: Windows completed per flush of the fused block sweep; bounds the
 #: live H scratch at ``(chunk, words)`` regardless of recording length.
 _FUSED_WINDOW_CHUNK = 512
@@ -255,7 +262,7 @@ def register_engine(cls: type[_EngineBase]) -> type[_EngineBase]:
 class UnpackedEngine(_EngineBase):
     """Reference integer-counter engine over uint8 component arrays."""
 
-    name = "unpacked"
+    name = UNPACKED_ENGINE
     window_form = "uint8 (n, d)"
     summary = "reference integer-counter path; one byte per component"
 
@@ -277,7 +284,7 @@ class UnpackedEngine(_EngineBase):
 class PackedEngine(_EngineBase):
     """Word-domain engine: uint64 H vectors end to end (Sec. V-B)."""
 
-    name = "packed"
+    name = PACKED_ENGINE
     native_packed = True
     window_form = "uint64 (n, ceil(d/64))"
     summary = "bit-parallel carry-save encoding, batched XOR+popcount sweep"
@@ -315,7 +322,7 @@ class PackedFusedEngine(PackedEngine):
       re-packing or label-table rebuilds of the general path.
     """
 
-    name = "packed-fused"
+    name = PACKED_FUSED_ENGINE
     fused = True
     summary = (
         "packed layout plus fused encode-classify block sweep and a "
@@ -393,7 +400,7 @@ class PackedFusedEngine(PackedEngine):
 
 
 #: Fastest-first preference order used by the ``auto`` pseudo-engine.
-_AUTO_PREFERENCE = ("packed-fused", "packed", "unpacked")
+_AUTO_PREFERENCE = (PACKED_FUSED_ENGINE, PACKED_ENGINE, UNPACKED_ENGINE)
 
 
 def engine_names() -> tuple[str, ...]:

@@ -31,6 +31,7 @@ The gateway adds three things a bare manager does not have:
 from __future__ import annotations
 
 import time
+import types
 from collections import deque
 from pathlib import Path
 from typing import Mapping
@@ -52,10 +53,12 @@ from repro.serve.worker import InlineShardWorker, ProcessShardWorker
 #: Name of the manifest file inside a fleet checkpoint directory.
 FLEET_MANIFEST = "fleet.json"
 
-_WORKER_CLASSES = {
+# Read-only on purpose: this module is forked into shard workers, so a
+# plain dict here would become a divergent per-process copy (RPR004).
+_WORKER_CLASSES = types.MappingProxyType({
     "inline": InlineShardWorker,
     "process": ProcessShardWorker,
-}
+})
 
 
 class Backpressure(RuntimeError):

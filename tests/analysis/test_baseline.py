@@ -1,0 +1,152 @@
+"""Tests for the committed-baseline layer of ``repro lint``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import META_CODE, Finding, lint_paths
+from repro.analysis.baseline import (
+    BASELINE_VERSION,
+    Baseline,
+    BaselineEntry,
+    BaselineError,
+    load_baseline,
+    write_baseline,
+)
+
+
+def _entry(**overrides):
+    base = dict(
+        code="RPR003", path="src/repro/core/persistence.py",
+        match="backend literal 'unpacked' outside repro.hdc; import the "
+              "name from repro.hdc.engine or resolve it through the "
+              "registry",
+        reason="legacy checkpoint path, documented",
+    )
+    base.update(overrides)
+    return BaselineEntry(**base)
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [_entry(), _entry(code="RPR008", match="fp")])
+        loaded = load_baseline(path)
+        assert len(loaded.entries) == 2
+        assert {e.code for e in loaded.entries} == {"RPR003", "RPR008"}
+
+    def test_layout_is_sorted_and_stable(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        entries = [_entry(code="RPR008", match="z"), _entry()]
+        write_baseline(path, entries)
+        first = path.read_text()
+        write_baseline(path, list(reversed(entries)))
+        assert path.read_text() == first
+        payload = json.loads(first)
+        assert payload["version"] == BASELINE_VERSION
+
+
+class TestValidation:
+    def test_missing_reason_is_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [{"code": "RPR003", "path": "a.py",
+                         "match": "m", "reason": "   "}],
+        }
+        path.write_text(json.dumps(payload))
+        with pytest.raises(BaselineError, match="no reason"):
+            load_baseline(path)
+
+    def test_missing_field_is_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [{"code": "RPR003", "path": "a.py",
+                         "reason": "r"}],
+        }
+        path.write_text(json.dumps(payload))
+        with pytest.raises(BaselineError, match="missing fields"):
+            load_baseline(path)
+
+    def test_unknown_version_is_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(BaselineError, match="version"):
+            load_baseline(path)
+
+    def test_unreadable_json_is_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{nope")
+        with pytest.raises(BaselineError, match="cannot read"):
+            load_baseline(path)
+
+
+class TestMatching:
+    def test_match_is_code_path_and_message(self):
+        entry = _entry()
+        hit = Finding(path=entry.path, line=107, col=44,
+                      code=entry.code, message=entry.match)
+        assert entry.sanctions(hit)
+        # Line numbers are deliberately not part of the match.
+        moved = Finding(path=entry.path, line=1, col=0,
+                        code=entry.code, message=entry.match)
+        assert entry.sanctions(moved)
+        other = Finding(path=entry.path, line=107, col=44,
+                        code=entry.code, message="different message")
+        assert not entry.sanctions(other)
+        elsewhere = Finding(path="src/repro/cli.py", line=107, col=44,
+                            code=entry.code, message=entry.match)
+        assert not entry.sanctions(elsewhere)
+
+
+class TestStaleEntries:
+    def test_stale_entry_becomes_a_meta_finding(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "core" / "x.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("x = 1\n")  # nothing to sanction
+        baseline = Baseline([_entry()], path="lint-baseline.json")
+        result = lint_paths([target], baseline=baseline, root=tmp_path)
+        stale = [f for f in result.findings if f.code == META_CODE]
+        assert len(stale) == 1
+        assert "stale baseline entry" in stale[0].message
+        assert stale[0].path == "lint-baseline.json"
+        assert result.exit_code == 1  # the file can only shrink honestly
+
+    def test_matching_entry_is_not_stale(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "serve" / "x.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("_CACHE = {}\n")
+        raw = lint_paths([target], root=tmp_path)
+        entry = BaselineEntry(
+            code=raw.findings[0].code, path=raw.findings[0].path,
+            match=raw.findings[0].message, reason="fixture",
+        )
+        baseline = Baseline([entry], path="lint-baseline.json")
+        result = lint_paths([target], baseline=baseline, root=tmp_path)
+        assert result.exit_code == 0
+        assert [f.baselined for f in result.findings] == [True]
+
+
+class TestCommittedBaseline:
+    def test_every_committed_entry_has_a_documented_reason(self):
+        baseline = load_baseline("lint-baseline.json")
+        assert baseline.entries, "committed baseline unexpectedly empty"
+        for entry in baseline.entries:
+            assert len(entry.reason.strip()) > 20, (
+                f"{entry.code} at {entry.path}: a baseline reason must "
+                "actually document why the violation may stay"
+            )
+
+    def test_committed_tree_lints_clean(self):
+        baseline = load_baseline("lint-baseline.json")
+        result = lint_paths(
+            ["src", "tests", "benchmarks", "examples"], baseline=baseline
+        )
+        assert result.exit_code == 0, "\n".join(
+            f.render() for f in result.new_findings
+        )
+        # The baseline is exactly the sanctioned set: no stale entries.
+        assert not [f for f in result.findings if f.code == META_CODE]

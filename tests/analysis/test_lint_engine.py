@@ -1,0 +1,198 @@
+"""Engine-level tests: suppressions, RPR000 hygiene, JSON, file walking.
+
+Suppression comments are assembled by concatenation throughout so this
+file's raw lines never contain one themselves (parsing is line-based
+and ``tests/`` is linted).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    JSON_FORMAT_VERSION,
+    META_CODE,
+    Finding,
+    LintResult,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    parse_suppressions,
+    result_from_json,
+)
+
+NOQA = "# repro: " + "noqa"
+
+_RNG_LINE = "import numpy as np\nnp.random.seed(0)"
+
+
+def _meta(findings):
+    return [f for f in findings if f.code == META_CODE]
+
+
+class TestSuppressionParsing:
+    def test_single_code(self):
+        sups, malformed = parse_suppressions([f"x = 1  {NOQA}[RPR001]"])
+        assert not malformed
+        assert sups[0].line == 1
+        assert sups[0].codes == ("RPR001",)
+
+    def test_comma_list_with_spaces(self):
+        sups, malformed = parse_suppressions(
+            [f"x = 1  {NOQA}[RPR001, RPR003 ,RPR009]"]
+        )
+        assert not malformed
+        assert sups[0].codes == ("RPR001", "RPR003", "RPR009")
+
+    def test_codes_are_case_normalized(self):
+        sups, _ = parse_suppressions([f"x = 1  {NOQA}[rpr001]"])
+        assert sups[0].codes == ("RPR001",)
+
+    def test_blanket_noqa_is_malformed(self):
+        sups, malformed = parse_suppressions([f"x = 1  {NOQA}"])
+        assert not sups
+        assert malformed[0][0] == 1
+        assert "blanket" in malformed[0][1]
+
+    def test_empty_brackets_are_malformed(self):
+        sups, malformed = parse_suppressions([f"x = 1  {NOQA}[]"])
+        assert not sups
+        assert malformed
+
+    def test_garbage_codes_are_malformed(self):
+        sups, malformed = parse_suppressions([f"x = 1  {NOQA}[banana]"])
+        assert not sups
+        assert "BANANA" in malformed[0][1]  # codes are case-normalized
+
+    def test_flexible_comment_spacing(self):
+        loose = "#  repro:" + "  noqa"  # extra spaces still parse
+        sups, malformed = parse_suppressions([f"x = 1  {loose}[RPR002]"])
+        assert not malformed
+        assert sups[0].codes == ("RPR002",)
+
+    def test_non_suppression_comments_ignored(self):
+        sups, malformed = parse_suppressions(
+            ["x = 1  # plain comment", "y = 2"]
+        )
+        assert not sups and not malformed
+
+
+class TestSuppressionHygiene:
+    def test_unknown_code_is_reported(self):
+        findings = lint_source(
+            f"x = 1  {NOQA}[RPR999]\n", "src/repro/core/x.py"
+        )
+        assert any("unknown rule code RPR999" in f.message
+                   for f in _meta(findings))
+
+    def test_unused_suppression_is_reported(self):
+        findings = lint_source(
+            f"x = 1  {NOQA}[RPR001]\n", "src/repro/core/x.py"
+        )
+        assert any("unused suppression" in f.message
+                   for f in _meta(findings))
+
+    def test_meta_code_cannot_be_suppressed(self):
+        findings = lint_source(
+            f"x = 1  {NOQA}[RPR000]\n", "src/repro/core/x.py"
+        )
+        assert any("cannot be suppressed" in f.message
+                   for f in _meta(findings))
+
+    def test_suppression_only_covers_its_own_line(self):
+        source = (
+            "import time\n"
+            f"a = time.time()  {NOQA}[RPR002]\n"
+            "b = time.time()\n"
+        )
+        findings = lint_source(source, "src/repro/core/x.py")
+        rpr002 = [f for f in findings if f.code == "RPR002"]
+        assert [f.line for f in rpr002] == [3]
+        assert not _meta(findings)
+
+    def test_one_comment_may_suppress_multiple_codes(self):
+        source = (
+            "import time\n"
+            f"a = (time.time(), 'packed')  {NOQA}[RPR002, RPR003]\n"
+        )
+        findings = lint_source(source, "src/repro/core/x.py")
+        assert not findings
+
+    def test_syntax_error_is_a_meta_finding(self):
+        findings = lint_source("def f(:\n", "src/repro/core/x.py")
+        assert len(findings) == 1
+        assert findings[0].code == META_CODE
+        assert "syntax error" in findings[0].message
+
+
+class TestJsonEnvelope:
+    def _result(self):
+        findings = lint_source(_RNG_LINE, "src/repro/core/x.py")
+        assert findings
+        findings[0] = Finding(
+            path=findings[0].path, line=findings[0].line,
+            col=findings[0].col, code=findings[0].code,
+            message=findings[0].message, baselined=True,
+        )
+        return LintResult(findings=findings, files=1)
+
+    def test_round_trip_preserves_everything(self):
+        result = self._result()
+        rebuilt = result_from_json(result.to_json())
+        assert rebuilt.findings == result.findings
+        assert rebuilt.files == result.files
+        assert rebuilt.exit_code == result.exit_code
+
+    def test_envelope_is_versioned_and_summarised(self):
+        payload = self._result().to_json()
+        assert payload["version"] == JSON_FORMAT_VERSION
+        summary = payload["summary"]
+        assert summary["findings"] == summary["new"] + summary["baselined"]
+        assert summary["baselined"] == 1
+
+    def test_unknown_version_is_rejected(self):
+        payload = self._result().to_json()
+        payload["version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            result_from_json(payload)
+
+    def test_exit_code_ignores_baselined_findings(self):
+        finding = Finding(path="a.py", line=1, col=0, code="RPR001",
+                          message="m", baselined=True)
+        assert LintResult(findings=[finding], files=1).exit_code == 0
+        fresh = Finding(path="a.py", line=1, col=0, code="RPR001",
+                        message="m")
+        assert LintResult(findings=[fresh], files=1).exit_code == 1
+
+
+class TestFileWalking:
+    def test_directories_expand_recursively_and_sorted(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "b.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "notes.txt").write_text("not python\n")
+        names = [p.name for p in iter_python_files([tmp_path])]
+        assert names == ["a.py", "b.py"]
+
+    def test_hidden_and_pycache_are_skipped(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "x.py").write_text("x = 1\n")
+        (tmp_path / ".hidden").mkdir()
+        (tmp_path / ".hidden" / "y.py").write_text("x = 1\n")
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        names = [p.name for p in iter_python_files([tmp_path])]
+        assert names == ["ok.py"]
+
+    def test_explicit_files_pass_through(self, tmp_path):
+        f = tmp_path / "one.py"
+        f.write_text("x = 1\n")
+        assert list(iter_python_files([f])) == [f]
+
+    def test_lint_paths_relativizes_against_root(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "serve" / "x.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("_CACHE = {}\n")
+        result = lint_paths([target], root=tmp_path)
+        assert result.files == 1
+        assert result.findings[0].path == "src/repro/serve/x.py"
+        assert result.findings[0].code == "RPR004"

@@ -1,0 +1,71 @@
+"""Meta-tests over the rule registry itself.
+
+The registry is the contract surface of ``repro lint``: every rule must
+be documented, scoped, and fixture-tested.  These tests make "add a
+rule" fail CI until the rule carries a rationale and a fixture table
+entry, so the catalogue in ``docs/static_analysis.md`` and the test
+suite cannot silently lag the code.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.analysis import META_CODE, registered_rules, rule_codes
+from tests.analysis.test_rules import FIXTURES
+
+_CODE_RE = re.compile(r"^RPR\d{3}$")
+
+
+class TestRegistry:
+    def test_codes_are_wellformed_unique_and_sorted(self):
+        codes = rule_codes()
+        assert codes == tuple(sorted(set(codes)))
+        for code in codes:
+            assert _CODE_RE.match(code)
+
+    def test_meta_code_is_registered(self):
+        assert META_CODE in rule_codes()
+
+    def test_every_rule_documents_itself(self):
+        for rule in registered_rules():
+            assert rule.name, f"{rule.code} has no name slug"
+            assert len(rule.rationale) > 40, (
+                f"{rule.code} needs a real rationale paragraph, not a stub"
+            )
+
+    def test_scoping_prefixes_are_repo_relative(self):
+        for rule in registered_rules():
+            for prefix in rule.include + rule.exclude:
+                assert not prefix.startswith("/"), (
+                    f"{rule.code}: scope {prefix!r} must be repo-relative"
+                )
+
+
+class TestFixtureCoverage:
+    def test_every_rule_code_has_fixtures(self):
+        missing = set(rule_codes()) - set(FIXTURES)
+        assert not missing, (
+            f"rules without fixtures in tests/analysis/test_rules.py: "
+            f"{sorted(missing)}"
+        )
+
+    def test_no_fixtures_for_unregistered_codes(self):
+        unknown = set(FIXTURES) - set(rule_codes())
+        assert not unknown, f"fixtures for unknown codes: {sorted(unknown)}"
+
+    @pytest.mark.parametrize("code", sorted(FIXTURES))
+    def test_each_code_has_violating_and_clean_fixtures(self, code):
+        outcomes = {fixture.violates for fixture in FIXTURES[code]}
+        assert True in outcomes, f"{code}: no violating fixture"
+        assert False in outcomes, f"{code}: no clean/out-of-scope fixture"
+
+    def test_scoped_rules_have_an_out_of_scope_fixture(self):
+        scoped = [r for r in registered_rules() if r.include]
+        for rule in scoped:
+            fixtures = FIXTURES[rule.code]
+            assert any(
+                not rule.applies_to(f.path) for f in fixtures
+            ), f"{rule.code}: no fixture outside {rule.include}"
