@@ -1,27 +1,38 @@
-"""Fused encode→classify engine vs the batched packed sweep.
+"""Cross-engine benchmark matrix plus the fused-engine microbenches.
 
-The ``packed-fused`` engine promises two wins over PR 1's batched
-packed path, both measured here at the golden-model dimension d = 10000:
+Two instruments in one file:
 
-* **single-window streaming classify** — the per-tick shape of a live
-  stream (one window in, one label out).  The general packed path
-  re-validates, re-packs and rebuilds its label table on every call;
-  the fused engine XORs into a preallocated scratch against the
-  prototype block and reduces once.  Asserted to be at least 1.2x the
-  packed engine (report-only where timing is too noisy to trust, e.g.
-  a 1-core CI container);
-* **fused block sweep** — a whole recording classified block by block
-  without materialising the ``(n_windows, words)`` H array; checked
-  bit-exact and reported alongside the unfused encode-then-classify
-  packed pipeline.
+* **engine matrix** (``test_engine_matrix_record``) — every *registered*
+  compute engine, timed on the same whole-recording workload at
+  d = 2000 and d = 10000 (the golden-model dimension), reported as
+  windows/s and speedup vs the unpacked reference, and serialised to
+  the versioned benchmark-record schema
+  (:mod:`repro.evaluation.benchrec`).  The committed repo-root
+  ``BENCH_engine_matrix.json`` is this bench's full-mode output on the
+  recording host; engines whose optional accelerator is missing (e.g.
+  ``packed-native`` without numba) are listed with ``available = 0``
+  instead of being silently dropped.  On numba-backed hosts with
+  enough cores the matrix also asserts the ``packed-native`` floor:
+  at least 3x over ``packed-fused`` at d = 10000 (report-only below
+  4 cores, see :mod:`benchmarks._gating`).
+
+* **fused microbenches** — the two wins the ``packed-fused`` engine
+  promises over PR 1's batched packed path: the preallocated
+  single-window streaming classify (asserted >= 1.2x where timing is
+  trustworthy) and the fused block sweep (checked bit-exact, reported).
 
 Run directly with ``pytest benchmarks/bench_engine_fused.py -s``;
-``--smoke`` shrinks the sizes for the CI import-rot job.
+``--smoke`` shrinks the sizes for the CI jobs and writes the matrix
+record to ``BENCH_engine_matrix.smoke.json`` instead of the committed
+baseline.  ``REPRO_BENCH_RECORD_MATRIX`` overrides the output path
+either way.
 """
 
 from __future__ import annotations
 
+import os
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -30,12 +41,28 @@ from benchmarks.conftest import bench_dim, bench_seconds, smoke_mode
 from repro.core.config import GOLDEN_DIM, LaelapsConfig
 from repro.core.detector import LaelapsDetector
 from repro.hdc.backend import random_bits
+from repro.hdc.engine import (
+    AUTO_ENGINE,
+    PACKED_FUSED_ENGINE,
+    PACKED_NATIVE_ENGINE,
+    UNPACKED_ENGINE,
+    engine_capabilities,
+    engine_names,
+    resolve_engine_name,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+#: The committed cross-engine matrix baseline this bench writes/compares.
+MATRIX_BASELINE_PATH = REPO_ROOT / "BENCH_engine_matrix.json"
 
 DIM = bench_dim(GOLDEN_DIM, smoke=512)
 FS = 256.0
 N_ELECTRODES = 32
 #: Acceptance floor: fused single-window classify vs the packed engine.
 MIN_SPEEDUP = 1.2
+#: Acceptance floor: packed-native vs packed-fused at the golden
+#: dimension, asserted only on numba-backed hosts with >= 4 cores.
+MIN_NATIVE_SPEEDUP = 3.0
 #: Streaming-classify repetitions (single windows, like live ticks).
 N_TICKS = 64 if smoke_mode() else 3_000
 
@@ -49,16 +76,143 @@ def _best_of(repeats: int, fn) -> float:
     return best
 
 
-def _fitted(backend: str) -> LaelapsDetector:
+def _fitted(backend: str, dim: int = DIM) -> LaelapsDetector:
     detector = LaelapsDetector(
         N_ELECTRODES,
-        LaelapsConfig(dim=DIM, fs=FS, seed=7, backend=backend),
+        LaelapsConfig(dim=dim, fs=FS, seed=7, backend=backend),
     )
     detector.fit_from_windows(
-        random_bits((4, DIM), np.random.default_rng(1)),
-        random_bits((4, DIM), np.random.default_rng(2)),
+        random_bits((4, dim), np.random.default_rng(1)),
+        random_bits((4, dim), np.random.default_rng(2)),
     )
     return detector
+
+
+# ----------------------------------------------------------------------
+# The cross-engine matrix
+# ----------------------------------------------------------------------
+
+
+def _matrix_dims() -> tuple[int, ...]:
+    return (256,) if smoke_mode() else (2_000, GOLDEN_DIM)
+
+
+def _matrix_output_path() -> Path:
+    override = os.environ.get("REPRO_BENCH_RECORD_MATRIX")
+    if override:
+        return Path(override)
+    if smoke_mode():
+        return REPO_ROOT / "BENCH_engine_matrix.smoke.json"
+    return MATRIX_BASELINE_PATH
+
+
+def test_engine_matrix_record():
+    """Every registered engine on one workload, recorded as a benchrec."""
+    from repro.evaluation.benchrec import (
+        BenchRecord,
+        current_git_sha,
+        machine_fingerprint,
+        read_record,
+        render_comparison,
+        write_record,
+    )
+
+    caps = {row["name"]: row for row in engine_capabilities()}
+    dims = _matrix_dims()
+    seconds = bench_seconds(6.0, smoke=2.0)
+    repeats = 1 if smoke_mode() else 3
+    rng = np.random.default_rng(9)
+    signal = rng.standard_normal((int(seconds * FS), N_ELECTRODES))
+
+    metrics: dict[str, float] = {}
+    for engine, row in caps.items():
+        metrics[f"{engine}_available"] = 1.0 if row["available"] else 0.0
+        if not row["available"]:
+            print(
+                f"\n[engine matrix] {engine!r} unavailable here "
+                f"({row['unavailable_reason']}); listed, not timed"
+            )
+
+    times: dict[int, dict[str, float]] = {}
+    for dim in dims:
+        times[dim] = {}
+        reference = None
+        for engine in engine_names():
+            if not caps[engine]["available"]:
+                continue
+            detector = _fitted(engine, dim)
+            preds = detector.predict(signal)
+            assert len(preds) > 0
+            if reference is None:
+                reference = preds  # the unpacked reference, always first
+            else:  # every engine bit-exact before any timing
+                np.testing.assert_array_equal(
+                    preds.labels, reference.labels
+                )
+                np.testing.assert_array_equal(
+                    preds.distances, reference.distances
+                )
+            elapsed = _best_of(repeats, lambda d=detector: d.predict(signal))
+            times[dim][engine] = elapsed
+            metrics[f"d{dim}_{engine}_windows_per_s"] = len(preds) / elapsed
+        for engine, elapsed in times[dim].items():
+            speedup = times[dim][UNPACKED_ENGINE] / elapsed
+            metrics[f"d{dim}_{engine}_speedup_vs_unpacked"] = speedup
+        print(f"\n[engine matrix] d={dim}, {seconds:.0f} s of signal:")
+        for engine, elapsed in times[dim].items():
+            print(
+                f"  {engine:<14} {metrics[f'd{dim}_{engine}_windows_per_s']:>10,.0f} windows/s  "
+                f"({metrics[f'd{dim}_{engine}_speedup_vs_unpacked']:.2f}x vs unpacked)"
+            )
+
+    # The packed-native floor, at the largest dim on numba-backed hosts.
+    top = dims[-1]
+    if PACKED_NATIVE_ENGINE in times[top]:
+        native_speedup = (
+            times[top][PACKED_FUSED_ENGINE] / times[top][PACKED_NATIVE_ENGINE]
+        )
+        metrics[f"d{top}_native_speedup_vs_fused"] = native_speedup
+        gate_speedup(
+            native_speedup,
+            MIN_NATIVE_SPEEDUP,
+            min_cores=4,
+            label="engine matrix",
+            detail=f"packed-native vs packed-fused at d={top}",
+        )
+
+    record = BenchRecord(
+        name="engine_matrix",
+        machine=machine_fingerprint(),
+        git_sha=current_git_sha(),
+        engine=resolve_engine_name(AUTO_ENGINE),
+        config={
+            "dims": list(dims),
+            "seconds": seconds,
+            "n_electrodes": N_ELECTRODES,
+            "fs": FS,
+            "repeats": repeats,
+            "engines": list(engine_names()),
+        },
+        metrics=metrics,
+    )
+    out = _matrix_output_path()
+    write_record(record, out)
+    fresh = read_record(out)  # emit/schema gate: always enforced
+    print(f"[engine matrix] record written to {out}")
+
+    if (
+        not MATRIX_BASELINE_PATH.exists()
+        or out.resolve() == MATRIX_BASELINE_PATH.resolve()
+    ):
+        return
+    baseline = read_record(MATRIX_BASELINE_PATH)  # schema errors hard-fail
+    print(render_comparison(baseline, fresh))
+    print("[engine matrix] deltas are report-only (runner shapes vary)")
+
+
+# ----------------------------------------------------------------------
+# The fused-engine microbenches
+# ----------------------------------------------------------------------
 
 
 def test_fused_single_window_streaming_classify():

@@ -16,6 +16,7 @@ RPR006    pipe-structured-errors      :mod:`.serving`
 RPR007    schema-write-read-symmetry  :mod:`.schema`
 RPR008    schema-fingerprint          :mod:`.schema`
 RPR009    packed-dtype-contract       :mod:`.dtype_contracts`
+RPR010    optional-dep-isolation      :mod:`.optional_deps`
 ========  ==========================  ==================================
 """
 
@@ -34,6 +35,7 @@ from repro.analysis.rules import (  # noqa: F401  (import = register)
     determinism,
     dtype_contracts,
     engine_boundary,
+    optional_deps,
     schema,
     serving,
 )

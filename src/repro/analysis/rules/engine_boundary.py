@@ -18,7 +18,8 @@ from repro.analysis.engine import FileContext, Finding, Rule, register_rule
 #: module must lint files without importing them, and the rule should
 #: flag the *strings*, wherever the registry goes next).
 _ENGINE_LITERALS = frozenset(
-    {"packed", "unpacked", "packed-fused"}  # repro: noqa[RPR003]
+    {"packed", "unpacked", "packed-fused",  # repro: noqa[RPR003]
+     "packed-native"}  # repro: noqa[RPR003]
 )
 
 
@@ -30,11 +31,12 @@ class EngineLiteralRule(Rule):
     name = "engine-literal-outside-hdc"
     rationale = (
         "Backend names are registry keys owned by `repro.hdc.engine`.  A "
-        "literal `\"packed\"`/`\"unpacked\"`/`\"packed-fused\"` anywhere "
-        "above hdc/ re-forks the dispatch PR 5 collapsed and silently "
-        "decouples from `engine_names()` when engines are added or "
-        "renamed.  Import UNPACKED_ENGINE/PACKED_ENGINE/"
-        "PACKED_FUSED_ENGINE (or iterate the registry) instead."
+        "literal `\"packed\"`/`\"unpacked\"`/`\"packed-fused\"`/"
+        "`\"packed-native\"` anywhere above hdc/ re-forks the dispatch "
+        "PR 5 collapsed and silently decouples from `engine_names()` "
+        "when engines are added or renamed.  Import UNPACKED_ENGINE/"
+        "PACKED_ENGINE/PACKED_FUSED_ENGINE/PACKED_NATIVE_ENGINE (or "
+        "iterate the registry) instead."
     )
     include = ("src/repro/",)
     exclude = ("src/repro/hdc/",)

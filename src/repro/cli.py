@@ -285,6 +285,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         mode=args.mode,
         backend=args.backend,
+        native_threads=args.native_threads,
     )
     report = run_load_test(config, progress=print)
     metrics = report.metrics
@@ -315,23 +316,31 @@ def _cmd_backends(args: argparse.Namespace) -> int:
         resolve_engine_name,
     )
 
+    caps = engine_capabilities(args.dim)
     rows = [
         [
             cap["name"],
             cap["window_form"],
             cap["width_at_dim"],
             "yes" if cap["fused"] else "no",
+            "yes" if cap["available"] else "no",
             cap["summary"],
         ]
-        for cap in engine_capabilities(args.dim)
+        for cap in caps
     ]
     table = render_table(
         ["Engine", "Window form", f"width@d={args.dim}", "Fused",
-         "Capabilities"],
+         "Avail", "Capabilities"],
         rows,
         title="Registered compute engines (LaelapsConfig.backend values)",
     )
     print(table)
+    for cap in caps:
+        if not cap["available"]:
+            print(
+                f"\n'{cap['name']}' is unavailable on this host: "
+                f"{cap['unavailable_reason']}"
+            )
     print(
         f"\n'{AUTO_ENGINE}' resolves to "
         f"'{resolve_engine_name(AUTO_ENGINE)}' on this host; all engines "
@@ -450,6 +459,9 @@ def _args_loadtest(p: argparse.ArgumentParser) -> None:
     p.add_argument("--backend", choices=backend_choices(),
                    default="auto",
                    help="compute engine of the served models")
+    p.add_argument("--native-threads", type=int, default=0,
+                   help="packed-native kernel threads per worker "
+                        "(REPRO_NATIVE_THREADS; 0 = engine default)")
     p.add_argument("--out", metavar="PATH",
                    help="write the run as a benchrec JSON record")
     p.add_argument("--check", metavar="BASELINE",

@@ -209,6 +209,7 @@ class StreamSessionManager:
         owners = []
         protos = []
         labels_table = []
+        kernels = set()
         for owner, (session_id, h_vectors) in enumerate(h_blocks):
             stream = self._sessions[session_id]
             packed = stream.detector.engine.pack_queries(h_vectors)
@@ -217,7 +218,14 @@ class StreamSessionManager:
             block, block_labels = stream.detector.memory.packed_block()
             protos.append(block)
             labels_table.append(block_labels)
-        labels, distances = grouped_classify_packed(
+            kernels.add(stream.detector.engine.grouped_kernel)
+        # When every involved session runs the same engine, its grouped
+        # kernel carries the tick (the packed-native engine's nogil
+        # sweep, typically); mixed fleets fall back to the shared numpy
+        # sweep — all implementations are bit-exact, so this only picks
+        # a speed, never a result.
+        sweep = kernels.pop() if len(kernels) == 1 else grouped_classify_packed
+        labels, distances = sweep(
             np.concatenate(queries, axis=0),
             np.stack(protos),
             np.concatenate(owners),

@@ -326,6 +326,29 @@ def grouped_classify_packed(
         :meth:`AssociativeMemory.classify`) and int64
         ``(n, n_classes)`` Hamming distances.
     """
+    query_arr, stack, owner_arr, table = _validate_grouped(
+        queries, prototype_stack, owners, label_table
+    )
+    dists = hamming_distance_packed(
+        query_arr[:, None, :], stack[owner_arr]
+    )
+    idx = np.argmin(dists, axis=-1)
+    labels = table[owner_arr, idx]
+    return labels, dists
+
+
+def _validate_grouped(
+    queries: np.ndarray,
+    prototype_stack: np.ndarray,
+    owners: np.ndarray,
+    label_table: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shared coercion/validation for the grouped-sweep implementations.
+
+    Both :func:`grouped_classify_packed` and its native twin
+    (:func:`repro.hdc.native.grouped_classify_packed_native`) enter
+    through here, so argument contracts stay identical across engines.
+    """
     query_arr = np.asarray(queries, dtype=np.uint64)
     stack = np.asarray(prototype_stack, dtype=np.uint64)
     owner_arr = np.asarray(owners, dtype=np.intp)
@@ -347,9 +370,4 @@ def grouped_classify_packed(
         raise ValueError(
             f"label table must be {stack.shape[:2]}, got {table.shape}"
         )
-    dists = hamming_distance_packed(
-        query_arr[:, None, :], stack[owner_arr]
-    )
-    idx = np.argmin(dists, axis=-1)
-    labels = table[owner_arr, idx]
-    return labels, dists
+    return query_arr, stack, owner_arr, table

@@ -24,6 +24,21 @@ from repro.hdc.backend import pack_bits, packed_words, unpack_bits
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 
 
+def plane_depth(k: int) -> int:
+    """Digit planes needed to count up to ``k`` ones per position.
+
+    The depth contract shared by :func:`bitsliced_counts` and its
+    native kernel twin (:func:`repro.hdc.native.native_bitsliced_counts`):
+    ``bit_length(k)`` digits hold every count in ``[0, k]``.  Plane
+    consumers (:func:`planes_add`, :func:`planes_greater_than`,
+    :func:`planes_to_counts`) depend only on the decoded counts, so the
+    two implementations stay interchangeable downstream.
+    """
+    if k < 1:
+        raise ValueError(f"mask count must be >= 1, got {k}")
+    return max(1, int(k).bit_length())
+
+
 def _carry_save_add(
     a: np.ndarray, b: np.ndarray, c: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:

@@ -23,8 +23,14 @@ Registered engines (:func:`engine_names`):
   ``(n_windows, words)`` H array is never materialised), and
   single-window streaming queries run through a preallocated
   XOR/popcount scratch with no per-call validation layers;
-* ``auto`` — resolves to the fastest registered engine at detector
-  construction (currently ``packed-fused``).
+* ``packed-native`` — the fused packed pipeline with both hot kernels
+  (XOR+popcount sweep, carry-save bundling tree) JIT-compiled to
+  multithreaded nogil machine code via the optional numba dependency
+  (:mod:`repro.hdc.native`); registered even when numba is absent, but
+  listed as unavailable and skipped by ``auto``;
+* ``auto`` — resolves to the fastest *available* registered engine at
+  detector construction (``packed-native`` with numba installed,
+  ``packed-fused`` otherwise).
 
 All engines are bit-exact against each other; the cross-engine property
 suite (``tests/property/test_engine_equivalence.py``) enforces this over
@@ -42,6 +48,7 @@ from repro.hdc.associative import (
     AssociativeMemory,
     PackedPrototypeAccumulator,
     PrototypeAccumulator,
+    grouped_classify_packed,
 )
 from repro.hdc.backend import pack_bits, packed_words, popcount_words
 from repro.hdc.item_memory import ItemMemory
@@ -60,6 +67,16 @@ AUTO_ENGINE = "auto"
 UNPACKED_ENGINE = "unpacked"
 PACKED_ENGINE = "packed"
 PACKED_FUSED_ENGINE = "packed-fused"
+PACKED_NATIVE_ENGINE = "packed-native"
+
+
+class EngineUnavailableError(RuntimeError):
+    """A registered engine cannot run here (missing optional accelerator).
+
+    Engines stay *listed* even when their optional dependency is absent
+    (``repro backends`` shows availability and the reason), but
+    constructing one raises this with the remedy in the message.
+    """
 
 #: Windows completed per flush of the fused block sweep; bounds the
 #: live H scratch at ``(chunk, words)`` regardless of recording length.
@@ -235,16 +252,38 @@ class _EngineBase:
         h = self.temporal_encoder().encode_all(codes)
         return self.classify_windows(memory, h)
 
+    #: Cross-session grouped-sweep implementation used when every
+    #: session of a tick shares this engine; engines with a native
+    #: grouped kernel override it (same signature, bit-exact).
+    grouped_kernel = staticmethod(grouped_classify_packed)
+
     # -- capability listing --------------------------------------------
+
+    @classmethod
+    def available(cls) -> tuple[bool, str | None]:
+        """Whether the engine can be constructed here, with the reason.
+
+        Engines backed by optional accelerators override this; the
+        default toolchain (numpy) is always present.
+        """
+        return True, None
+
+    @classmethod
+    def auto_eligible(cls) -> bool:
+        """Whether ``auto`` may resolve to this engine on this host."""
+        return cls.available()[0]
 
     @classmethod
     def describe(cls, dim: int = 10_000) -> dict:
         """Capability/word-layout row for the ``repro backends`` CLI."""
+        ok, why = cls.available()
         return {
             "name": cls.name,
             "window_form": cls.window_form,
             "width_at_dim": packed_words(dim) if cls.native_packed else dim,
             "fused": cls.fused,
+            "available": ok,
+            "unavailable_reason": why,
             "summary": cls.summary,
         }
 
@@ -399,8 +438,15 @@ class PackedFusedEngine(PackedEngine):
         )
 
 
-#: Fastest-first preference order used by the ``auto`` pseudo-engine.
-_AUTO_PREFERENCE = (PACKED_FUSED_ENGINE, PACKED_ENGINE, UNPACKED_ENGINE)
+#: Fastest-first preference order used by the ``auto`` pseudo-engine;
+#: candidates whose :meth:`_EngineBase.auto_eligible` says no on this
+#: host (e.g. ``packed-native`` without numba) are skipped.
+_AUTO_PREFERENCE = (
+    PACKED_NATIVE_ENGINE,
+    PACKED_FUSED_ENGINE,
+    PACKED_ENGINE,
+    UNPACKED_ENGINE,
+)
 
 
 def engine_names() -> tuple[str, ...]:
@@ -424,7 +470,10 @@ def resolve_engine_name(name: str) -> str:
     """
     if name == AUTO_ENGINE:
         for candidate in _AUTO_PREFERENCE:
-            if candidate in _REGISTRY:
+            if (
+                candidate in _REGISTRY
+                and _REGISTRY[candidate].auto_eligible()
+            ):
                 return candidate
     if name not in _REGISTRY:
         raise ValueError(
@@ -450,6 +499,8 @@ def build_engine(
 
     Raises:
         ValueError: For unknown names, listing the valid choices.
+        EngineUnavailableError: For a registered engine whose optional
+            accelerator is missing on this host.
     """
     return _REGISTRY[resolve_engine_name(name)](
         code_memory, electrode_memory, spec
@@ -461,7 +512,15 @@ def engine_capabilities(dim: int = 10_000) -> list[dict]:
 
     The data behind the ``repro backends`` CLI listing: one dict per
     engine (name, native window form, trailing width at ``dim``, fused
-    flag, summary).  The ``auto`` pseudo-engine is not listed — ask
-    :func:`resolve_engine_name` what it currently resolves to.
+    flag, availability with reason, summary).  The ``auto``
+    pseudo-engine is not listed — ask :func:`resolve_engine_name` what
+    it currently resolves to.
     """
     return [cls.describe(dim) for cls in _REGISTRY.values()]
+
+
+# Importing the native module registers the ``packed-native`` engine
+# (kept in its own module so the optional numba import stays isolated
+# there — lint rule RPR010).  It must come last: native.py imports the
+# base classes defined above.
+from repro.hdc import native as _native  # noqa: E402,F401

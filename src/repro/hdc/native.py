@@ -1,0 +1,535 @@
+"""The ``packed-native`` engine: multithreaded, GIL-releasing kernels.
+
+The two hot loops of the packed pipeline — the XOR+popcount sweep
+behind :meth:`repro.hdc.associative.AssociativeMemory.classify_packed`
+/ :func:`repro.hdc.associative.grouped_classify_packed`, and the
+carry-save bundling tree of :mod:`repro.hdc.bitsliced` — are pure
+NumPy everywhere else: single-threaded per process, so a shard worker
+cannot scale past one core.  This module re-states both kernels in a
+numba-compilable subset of Python and JIT-compiles them with
+``@njit(parallel=True, nogil=True, cache=True)``: the sweep `prange`s
+over query rows (per-thread argmin, same earliest-stored tie-break as
+``np.argmin``), the bundling tree `prange`s over word columns (each
+column ripples its own carry chain), and both release the GIL so
+N shard workers x M threads is a real sizing knob.
+
+numba is an *optional* accelerator.  This module is the only place in
+the tree allowed to import it (enforced by ``repro lint`` rule
+RPR010), and the import sits behind an availability guard: when numba
+is absent the engine still registers — ``repro backends`` lists it
+with ``available: no`` and the import error, ``auto`` skips it — and
+every kernel falls back to a pure-Python twin of itself (``njit``
+becomes the identity decorator, ``prange`` becomes ``range``).  The
+fallback is far too slow to serve with, but it lets the bit-exactness
+property suite exercise the exact kernel code on numba-free hosts;
+set ``REPRO_NATIVE_PURE_PYTHON=1`` to make the engine constructible
+there (testing/debug only — ``auto`` never resolves to it without
+real numba).
+
+Thread count is controlled by the ``REPRO_NATIVE_THREADS`` env knob
+(0 = numba's default), read at engine construction and clamped to the
+launch-time maximum; results are thread-count-invariant by
+construction (each prange iteration owns its output rows/columns).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.hdc.associative import (
+    AssociativeMemory,
+    _validate_grouped,
+)
+from repro.hdc.bitsliced import plane_depth, planes_add, planes_greater_than
+from repro.hdc.engine import (
+    PACKED_NATIVE_ENGINE,
+    EngineUnavailableError,
+    PackedFusedEngine,
+    register_engine,
+)
+from repro.hdc.item_memory import ItemMemory
+from repro.hdc.spatial_packed import _CHUNK_WORDS, PackedSpatialEncoder
+from repro.hdc.temporal_packed import PackedTemporalEncoder
+from repro.signal.windows import WindowSpec
+
+#: Env knob: worker thread count for the native kernels (0 = default).
+NATIVE_THREADS_ENV = "REPRO_NATIVE_THREADS"
+
+#: Env knob: allow constructing the engine on its pure-Python kernel
+#: twins when numba is absent.  Testing/debug only — orders of
+#: magnitude slower than ``packed-fused`` — so ``auto`` ignores it.
+NATIVE_PURE_PYTHON_ENV = "REPRO_NATIVE_PURE_PYTHON"
+
+_NUMBA_IMPORT_ERROR: str | None
+try:  # the availability guard required by lint rule RPR010
+    from numba import config as _numba_config
+    from numba import get_num_threads as _get_num_threads
+    from numba import njit, prange
+    from numba import set_num_threads as _set_num_threads
+except ImportError as exc:  # pragma: no cover - exercised via monkeypatch
+    _NUMBA_IMPORT_ERROR = f"{exc}"
+    _numba_config = None
+    _get_num_threads = None
+    _set_num_threads = None
+    prange = range
+
+    def njit(*args, **kwargs):
+        """Identity decorator: keep the kernels runnable in pure Python."""
+        if args and callable(args[0]) and not kwargs:
+            return args[0]
+
+        def wrap(fn):
+            return fn
+
+        return wrap
+else:
+    _NUMBA_IMPORT_ERROR = None
+
+
+def numba_available() -> bool:
+    """Whether the real numba JIT backs the kernels in this process."""
+    return _NUMBA_IMPORT_ERROR is None
+
+
+def numba_unavailable_reason() -> str | None:
+    """The numba import error message, or ``None`` when it imported."""
+    return _NUMBA_IMPORT_ERROR
+
+
+def pure_python_forced() -> bool:
+    """Whether ``REPRO_NATIVE_PURE_PYTHON`` requests the fallback twins."""
+    return os.environ.get(NATIVE_PURE_PYTHON_ENV, "") not in ("", "0")
+
+
+def native_available() -> tuple[bool, str | None]:
+    """Constructibility of the engine: ``(available, reason_if_not)``."""
+    if numba_available() or pure_python_forced():
+        return True, None
+    return False, (
+        f"numba import failed ({_NUMBA_IMPORT_ERROR}); install numba or "
+        f"set {NATIVE_PURE_PYTHON_ENV}=1 for the slow pure-Python twins"
+    )
+
+
+# -- thread control -----------------------------------------------------
+
+
+def requested_native_threads() -> int:
+    """The ``REPRO_NATIVE_THREADS`` value (0 when unset = default).
+
+    Raises:
+        ValueError: When the variable is set but not a non-negative int.
+    """
+    raw = os.environ.get(NATIVE_THREADS_ENV, "").strip()
+    if not raw:
+        return 0
+    try:
+        n = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{NATIVE_THREADS_ENV} must be a non-negative integer, "
+            f"got {raw!r}"
+        ) from None
+    if n < 0:
+        raise ValueError(
+            f"{NATIVE_THREADS_ENV} must be a non-negative integer, got {n}"
+        )
+    return n
+
+
+def apply_native_threads(n: int | None = None) -> int:
+    """Set the kernel thread count, clamped to the launch-time maximum.
+
+    Args:
+        n: Requested threads; ``None`` reads :func:`requested_native_threads`
+            and ``0`` keeps numba's current default.
+
+    Returns:
+        The effective thread count (1 in pure-Python mode).
+    """
+    if n is None:
+        n = requested_native_threads()
+    if not numba_available():
+        return 1
+    if n == 0:
+        return int(_get_num_threads())
+    # set_num_threads raises above the pool size fixed at numba's import;
+    # clamping keeps "ask for 4 on a 1-core host" a no-op, not a crash.
+    clamped = max(1, min(n, int(_numba_config.NUMBA_NUM_THREADS)))
+    _set_num_threads(clamped)
+    return clamped
+
+
+def configure_native_threads(n: int) -> None:
+    """Pin the thread knob process-wide (and for forked children).
+
+    Writes ``REPRO_NATIVE_THREADS`` into the environment *before* worker
+    processes are spawned — fork and spawn children both inherit it, so
+    one call in the parent sizes every shard worker's kernel pool.
+    """
+    if n < 0:
+        raise ValueError(f"native thread count must be >= 0, got {n}")
+    os.environ[NATIVE_THREADS_ENV] = str(n)
+    apply_native_threads(n)
+
+
+# -- kernels ------------------------------------------------------------
+#
+# Written once in the numba subset and decorated below: under numba
+# these compile to parallel, nogil machine code; without it they run
+# as-is in pure Python (slow, but the same code path bit for bit).
+
+_M1 = np.uint64(0x5555555555555555)
+_M2 = np.uint64(0x3333333333333333)
+_M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+_M127 = np.uint64(0x7F)
+_S1 = np.uint64(1)
+_S2 = np.uint64(2)
+_S4 = np.uint64(4)
+_S8 = np.uint64(8)
+_S16 = np.uint64(16)
+_S32 = np.uint64(32)
+_ZERO64 = np.uint64(0)
+_ONES64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _popcount64(x):
+    """SWAR popcount of one uint64 word (shift-fold, no multiply)."""
+    x = x - ((x >> _S1) & _M1)
+    x = (x & _M2) + ((x >> _S2) & _M2)
+    x = (x + (x >> _S4)) & _M4
+    x = x + (x >> _S8)
+    x = x + (x >> _S16)
+    x = x + (x >> _S32)
+    return np.int64(x & _M127)
+
+
+def _sweep_kernel(queries, protos, dists, best):
+    """Blocked XOR+popcount sweep: every query row against every prototype.
+
+    prange over query rows; each row computes its full distance vector
+    and its argmin locally (strict ``<`` keeps the earliest-stored
+    winner, matching ``np.argmin``), so rows never share mutable state
+    and the result is thread-count-invariant.
+    """
+    n = queries.shape[0]
+    c = protos.shape[0]
+    w = queries.shape[1]
+    for i in prange(n):
+        acc = np.int64(0)
+        for t in range(w):
+            acc += _popcount64(queries[i, t] ^ protos[0, t])
+        dists[i, 0] = acc
+        best_d = acc
+        best_j = 0
+        for j in range(1, c):
+            acc = np.int64(0)
+            for t in range(w):
+                acc += _popcount64(queries[i, t] ^ protos[j, t])
+            dists[i, j] = acc
+            if acc < best_d:
+                best_d = acc
+                best_j = j
+        best[i] = best_j
+
+
+def _grouped_sweep_kernel(queries, stack, owners, dists, best):
+    """The cross-session sweep: each query row against its owner's block."""
+    n = queries.shape[0]
+    c = stack.shape[1]
+    w = queries.shape[1]
+    for i in prange(n):
+        o = owners[i]
+        acc = np.int64(0)
+        for t in range(w):
+            acc += _popcount64(queries[i, t] ^ stack[o, 0, t])
+        dists[i, 0] = acc
+        best_d = acc
+        best_j = 0
+        for j in range(1, c):
+            acc = np.int64(0)
+            for t in range(w):
+                acc += _popcount64(queries[i, t] ^ stack[o, j, t])
+            dists[i, j] = acc
+            if acc < best_d:
+                best_d = acc
+                best_j = j
+        best[i] = best_j
+
+
+def _count_kernel(masks, planes):
+    """Carry-save bundling tree, prange over word columns.
+
+    ``masks`` is ``(k, cols)``; ``planes`` is ``(depth, cols)`` and
+    must arrive zeroed.  Each column ripples its own carry chain
+    (digit j absorbs the carry with one XOR, regenerates it with one
+    AND — :meth:`repro.hdc.bitsliced.BitslicedCounter.add` per
+    column), so columns are independent and the planes are bit-exact
+    against :func:`repro.hdc.bitsliced.bitsliced_counts`.
+    """
+    k = masks.shape[0]
+    cols = masks.shape[1]
+    depth = planes.shape[0]
+    for col in prange(cols):
+        for t in range(k):
+            carry = masks[t, col]
+            j = 0
+            while carry != _ZERO64 and j < depth:
+                regenerated = planes[j, col] & carry
+                planes[j, col] = planes[j, col] ^ carry
+                carry = regenerated
+                j += 1
+
+
+def _bundle_kernel(masks, planes, threshold, out):
+    """Fused majority: carry-save counts plus the magnitude comparator.
+
+    Same column decomposition as :func:`_count_kernel`, with the
+    per-column ``count > threshold`` comparator
+    (:func:`repro.hdc.bitsliced.planes_greater_than`) run in place, so
+    the spatial majority never leaves the kernel.
+    """
+    k = masks.shape[0]
+    cols = masks.shape[1]
+    depth = planes.shape[0]
+    for col in prange(cols):
+        for t in range(k):
+            carry = masks[t, col]
+            j = 0
+            while carry != _ZERO64 and j < depth:
+                regenerated = planes[j, col] & carry
+                planes[j, col] = planes[j, col] ^ carry
+                carry = regenerated
+                j += 1
+        greater = _ZERO64
+        equal = _ONES64
+        for j in range(depth - 1, -1, -1):
+            register = planes[j, col]
+            if (threshold >> j) & 1 == 1:
+                equal = equal & register
+            else:
+                greater = greater | (equal & register)
+                equal = equal & ~register
+        out[col] = greater
+
+
+if numba_available():
+    _popcount64 = njit(cache=True, inline="always")(_popcount64)
+    _jit = njit(parallel=True, nogil=True, cache=True)
+    _sweep_kernel = _jit(_sweep_kernel)
+    _grouped_sweep_kernel = _jit(_grouped_sweep_kernel)
+    _count_kernel = _jit(_count_kernel)
+    _bundle_kernel = _jit(_bundle_kernel)
+
+
+# -- kernel wrappers (numpy in, numpy out) ------------------------------
+
+
+def sweep_classify_packed(
+    queries: np.ndarray, protos: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Native twin of the batched XOR+popcount prototype sweep.
+
+    Args:
+        queries: uint64 array ``(n, words)``.
+        protos: uint64 array ``(n_classes, words)``, ``n_classes >= 1``.
+
+    Returns:
+        ``(argmin, distances)``: int64 ``(n,)`` prototype indices (ties
+        to the earliest-stored row) and int64 ``(n, n_classes)``.
+    """
+    q = np.ascontiguousarray(np.asarray(queries, dtype=np.uint64))
+    p = np.ascontiguousarray(np.asarray(protos, dtype=np.uint64))
+    if q.ndim != 2 or p.ndim != 2 or q.shape[1] != p.shape[1]:
+        raise ValueError(
+            f"need (n, words) queries and (c, words) prototypes, got "
+            f"{q.shape} and {p.shape}"
+        )
+    if p.shape[0] == 0:
+        raise ValueError("need at least one prototype")
+    dists = np.empty((q.shape[0], p.shape[0]), dtype=np.int64)
+    best = np.empty(q.shape[0], dtype=np.int64)
+    _sweep_kernel(q, p, dists, best)
+    return best, dists
+
+
+def grouped_classify_packed_native(
+    queries: np.ndarray,
+    prototype_stack: np.ndarray,
+    owners: np.ndarray,
+    label_table: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Native twin of :func:`repro.hdc.associative.grouped_classify_packed`.
+
+    Same validation, same earliest-stored tie-break, same return shapes;
+    the sweep itself pranges over query rows instead of materialising
+    the broadcast XOR.
+    """
+    query_arr, stack, owner_arr, table = _validate_grouped(
+        queries, prototype_stack, owners, label_table
+    )
+    if stack.shape[1] == 0:
+        raise ValueError("prototype stack has zero classes")
+    q = np.ascontiguousarray(query_arr)
+    s = np.ascontiguousarray(stack)
+    owners64 = np.ascontiguousarray(owner_arr.astype(np.int64, copy=False))
+    dists = np.empty((q.shape[0], s.shape[1]), dtype=np.int64)
+    best = np.empty(q.shape[0], dtype=np.int64)
+    _grouped_sweep_kernel(q, s, owners64, dists, best)
+    return table[owner_arr, best], dists
+
+
+def native_bitsliced_counts(masks: np.ndarray) -> np.ndarray:
+    """Native twin of :func:`repro.hdc.bitsliced.bitsliced_counts`."""
+    arr = np.ascontiguousarray(np.asarray(masks, dtype=np.uint64))
+    if arr.ndim < 2:
+        raise ValueError(f"expected (k, ..., words) masks, got {arr.shape}")
+    if arr.shape[0] == 0:
+        raise ValueError("cannot count an empty stack of masks")
+    depth = plane_depth(arr.shape[0])
+    flat = arr.reshape(arr.shape[0], -1)
+    planes = np.zeros((depth, flat.shape[1]), dtype=np.uint64)
+    _count_kernel(flat, planes)
+    return planes.reshape((depth,) + arr.shape[1:])
+
+
+def native_bundle_exceeds(masks: np.ndarray, threshold: int) -> np.ndarray:
+    """Fused per-position majority: packed mask of counts > ``threshold``.
+
+    Equivalent to ``planes_greater_than(bitsliced_counts(masks), t)``
+    without materialising the planes outside the kernel scratch.
+    """
+    arr = np.ascontiguousarray(np.asarray(masks, dtype=np.uint64))
+    if arr.ndim < 2:
+        raise ValueError(f"expected (k, ..., words) masks, got {arr.shape}")
+    if arr.shape[0] == 0:
+        raise ValueError("cannot bundle an empty stack of masks")
+    if threshold < 0:
+        return np.full(arr.shape[1:], _ONES64, dtype=np.uint64)
+    depth = plane_depth(arr.shape[0])
+    if threshold >> depth:
+        return np.zeros(arr.shape[1:], dtype=np.uint64)
+    flat = arr.reshape(arr.shape[0], -1)
+    planes = np.zeros((depth, flat.shape[1]), dtype=np.uint64)
+    out = np.empty(flat.shape[1], dtype=np.uint64)
+    _bundle_kernel(flat, planes, np.int64(threshold), out)
+    return out.reshape(arr.shape[1:])
+
+
+# -- encoders and the engine --------------------------------------------
+
+
+class NativeSpatialEncoder(PackedSpatialEncoder):
+    """Packed spatial encoder whose majority runs in the native kernel."""
+
+    def encode_packed(self, codes: np.ndarray) -> np.ndarray:
+        arr = np.asarray(codes)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        if arr.ndim != 2 or arr.shape[1] != self.n_electrodes:
+            raise ValueError(
+                f"expected (n_samples, {self.n_electrodes}), got {arr.shape}"
+            )
+        n_samples = arr.shape[0]
+        out = np.empty((n_samples, self.words), dtype=np.uint64)
+        if n_samples == 0:
+            return out
+        if arr.min() < 0 or arr.max() >= self.n_codes:
+            raise ValueError(f"code out of range [0, {self.n_codes})")
+        chunk = max(1, _CHUNK_WORDS // (self.n_electrodes * self.words))
+        electrode_index = np.arange(self.n_electrodes)
+        for start in range(0, n_samples, chunk):
+            stop = min(start + chunk, n_samples)
+            masks = self._table[electrode_index, arr[start:stop]]
+            # Electrode-major (n_electrodes, samples * words): the kernel
+            # reduces axis 0 per word column, fusing count and majority.
+            flat = np.ascontiguousarray(masks.swapaxes(0, 1)).reshape(
+                self.n_electrodes, -1
+            )
+            out[start:stop] = native_bundle_exceeds(
+                flat, self.n_electrodes // 2
+            ).reshape(stop - start, self.words)
+        return out
+
+
+class NativeTemporalEncoder(PackedTemporalEncoder):
+    """Packed temporal encoder over the native bundling tree.
+
+    Per-block digit planes come from the native carry-save kernel; the
+    cheap cross-block combine (``blocks_per_window`` plane adds on
+    ``(depth, words)`` arrays) and the checkpoint import/export stay on
+    the shared numpy path, so streaming state remains engine-independent.
+    """
+
+    spatial: NativeSpatialEncoder
+
+    def _consume_block(self, block_codes: np.ndarray) -> np.ndarray | None:
+        s_packed = self.spatial.encode_packed(block_codes)
+        self._block_planes.append(native_bitsliced_counts(s_packed))
+        if len(self._block_planes) < self.blocks_per_window:
+            return None
+        window_planes = self._block_planes[0]
+        for planes in list(self._block_planes)[1:]:
+            window_planes = planes_add(window_planes, planes)
+        return planes_greater_than(
+            window_planes, self.spec.window_samples // 2
+        )
+
+
+@register_engine
+class PackedNativeEngine(PackedFusedEngine):
+    """The ``packed-fused`` engine with both hot kernels JIT-parallelised.
+
+    Inherits the fused block/scratch discipline (block sweep bounded by
+    the window chunk, no H materialisation); replaces the sweep and the
+    bundling tree with the nogil prange kernels above and routes the
+    cross-session grouped sweep through its native twin.
+    """
+
+    name = PACKED_NATIVE_ENGINE
+    summary = (
+        "fused packed pipeline with numba-parallel nogil XOR+popcount "
+        "sweep and carry-save bundling kernels"
+    )
+    grouped_kernel = staticmethod(grouped_classify_packed_native)
+
+    def __init__(
+        self,
+        code_memory: ItemMemory,
+        electrode_memory: ItemMemory,
+        spec: WindowSpec,
+    ) -> None:
+        ok, why = native_available()
+        if not ok:
+            raise EngineUnavailableError(
+                f"compute engine {self.name!r} is unavailable: {why}"
+            )
+        super().__init__(code_memory, electrode_memory, spec)
+        #: Effective kernel thread count (REPRO_NATIVE_THREADS, clamped).
+        self.threads = apply_native_threads()
+
+    @classmethod
+    def available(cls) -> tuple[bool, str | None]:
+        return native_available()
+
+    @classmethod
+    def auto_eligible(cls) -> bool:
+        # Without real numba the pure-Python twins are orders of
+        # magnitude slower than packed-fused: never auto-select them.
+        return numba_available()
+
+    def _build_spatial(self, code_memory, electrode_memory):
+        return NativeSpatialEncoder(code_memory, electrode_memory)
+
+    def temporal_encoder(self) -> NativeTemporalEncoder:
+        return NativeTemporalEncoder(self.spatial, self.spec)
+
+    def _fused_query(
+        self, memory: AssociativeMemory, arr: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One kernel call for any batch size, no scratch needed."""
+        block, label_table = memory.packed_block()
+        best, dists = sweep_classify_packed(arr, block)
+        return label_table[best], dists

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import math
 import time
+import warnings
 from dataclasses import asdict, dataclass, field
 from typing import Callable
 
@@ -77,6 +78,25 @@ def nearest_rank_percentile(samples, p: float) -> float:
     return float(ordered[max(rank, 1) - 1])
 
 
+def min_samples_for_percentile(p: float) -> int:
+    """Fewest samples for which nearest-rank ``p`` is below the max.
+
+    With fewer samples, ``nearest_rank_percentile(samples, p)`` can only
+    return the maximum — the tail percentile is degenerate, not
+    measured.  E.g. p99 needs 100 samples, p99.9 needs 1001; the load
+    bench warns when a run's ``n_ticks`` is below this.
+    """
+    if not 0 <= p < 100:
+        raise ValueError(f"percentile must be in [0, 100), got {p}")
+    # Smallest n >= 2 with rank(p, n) < n, probed with the exact float
+    # arithmetic of nearest_rank_percentile (the closed form
+    # ceil(100 / (100 - p)) can be off by one at e.g. p = 99.9).
+    n = max(2, math.ceil(100.0 / (100.0 - p)) - 1)
+    while math.ceil(p / 100.0 * n) >= n:
+        n += 1
+    return n
+
+
 def latency_summary_ms(latencies_s) -> dict:
     """SLO summary of a latency log: percentiles, mean and max, in ms."""
     summary = {
@@ -113,6 +133,10 @@ class LoadConfig:
         seizure_rate_per_min: Injected-seizure rate per session stream.
         n_templates: Distinct detector models cycled across sessions
             (training cost stays O(templates), not O(sessions)).
+        native_threads: Kernel threads per worker for the
+            ``packed-native`` engine (``REPRO_NATIVE_THREADS``),
+            exported to the environment before workers spawn so
+            N workers x M threads is explicit; 0 keeps the default.
     """
 
     n_sessions: int = 64
@@ -130,6 +154,7 @@ class LoadConfig:
     seed: int = 0
     seizure_rate_per_min: float = 2.0
     n_templates: int = 4
+    native_threads: int = 0
 
     def __post_init__(self) -> None:
         if self.n_sessions < 1:
@@ -145,6 +170,10 @@ class LoadConfig:
                              f"{self.mode!r}")
         if self.n_templates < 1:
             raise ValueError("n_templates must be >= 1")
+        if self.native_threads < 0:
+            raise ValueError(
+                f"native_threads must be >= 0, got {self.native_threads}"
+            )
 
     @property
     def chunk_samples(self) -> int:
@@ -261,6 +290,15 @@ class LoadGenerator:
         """Execute the full run: steady state, backpressure, elasticity."""
         config = self.config
         say = progress or (lambda message: None)
+        if config.native_threads:
+            # Export the thread knob before anything spawns: forked and
+            # spawned shard workers both inherit the environment, so
+            # this one call sizes every worker's kernel pool.
+            from repro.hdc.native import configure_native_threads
+
+            configure_native_threads(config.native_threads)
+            say(f"native kernel threads pinned to {config.native_threads} "
+                f"per worker")
         say(f"training {min(config.n_templates, config.n_sessions)} "
             f"template models (d={config.dim}, {config.backend})")
         templates = _train_templates(config)
@@ -307,6 +345,17 @@ class LoadGenerator:
 
     def _steady_state(self, gateway, sources, say):
         config = self.config
+        top_suffix, top_p = LATENCY_PERCENTILES[-1]
+        needed = min_samples_for_percentile(top_p)
+        if config.n_ticks < needed:
+            warnings.warn(
+                f"n_ticks={config.n_ticks} cannot resolve the "
+                f"{top_suffix} tick-latency tail (nearest-rank p{top_p} "
+                f"needs >= {needed} samples); the top percentiles will "
+                f"degenerate to the maximum",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         say(f"warmup: {config.warmup_ticks} ticks")
         for _ in range(config.warmup_ticks):
             self._tick(gateway, sources)

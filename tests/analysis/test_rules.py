@@ -424,6 +424,52 @@ FIXTURES: dict[str, tuple[Fixture, ...]] = {
             False,
         ),
     ),
+    # -- RPR010: optional accelerators import in one guarded place ----
+    "RPR010": (
+        # A bare accelerator import outside the guarded module.
+        Fixture(
+            "src/repro/core/detector.py",
+            "import numba\n",
+            True,
+        ),
+        # from-imports count too, and so do future accelerators.
+        Fixture(
+            "src/repro/serve/loadgen.py",
+            "from cupy import asarray\n",
+            True,
+        ),
+        # Even the guarded module may not import unguarded.
+        Fixture(
+            "src/repro/hdc/native.py",
+            "from numba import njit\n",
+            True,
+        ),
+        # The sanctioned form: guarded import inside native.py.
+        Fixture(
+            "src/repro/hdc/native.py",
+            "try:\n"
+            "    from numba import njit, prange\n"
+            "except ImportError:\n"
+            "    prange = range\n",
+            False,
+        ),
+        # A guard elsewhere does not help: isolation is per-module.
+        Fixture(
+            "src/repro/core/detector.py",
+            "try:\n"
+            "    import numba\n"
+            "except ImportError:\n"
+            "    numba = None\n",
+            True,
+        ),
+        # Ordinary imports are out of scope everywhere.
+        Fixture(
+            "src/repro/core/detector.py",
+            "import numpy as np\n"
+            "from repro.hdc import native\n",
+            False,
+        ),
+    ),
 }
 
 _ALL = [

@@ -34,14 +34,21 @@ def _engine(name: str, dim: int = 100):
 
 class TestRegistry:
     def test_registered_names(self):
-        assert engine_names() == ("unpacked", "packed", "packed-fused")
+        assert engine_names() == (
+            "unpacked", "packed", "packed-fused", "packed-native",
+        )
 
     def test_backend_choices_append_auto(self):
         assert backend_choices() == (*engine_names(), AUTO_ENGINE)
         assert BACKENDS == backend_choices()
 
-    def test_auto_resolves_to_fused(self):
-        assert resolve_engine_name(AUTO_ENGINE) == "packed-fused"
+    def test_auto_resolves_to_fastest_eligible(self):
+        # packed-native leads the preference order but only when real
+        # numba backs it; otherwise auto lands on packed-fused.
+        from repro.hdc.native import numba_available
+
+        expected = "packed-native" if numba_available() else "packed-fused"
+        assert resolve_engine_name(AUTO_ENGINE) == expected
 
     def test_unknown_name_lists_choices(self):
         with pytest.raises(ValueError, match="packed-fused"):
@@ -66,7 +73,10 @@ class TestRegistry:
             del engine_module._REGISTRY["dummy-test-engine"]
         assert "dummy-test-engine" not in engine_names()
 
-    def test_instances_satisfy_protocol(self):
+    def test_instances_satisfy_protocol(self, monkeypatch):
+        from repro.hdc.native import NATIVE_PURE_PYTHON_ENV
+
+        monkeypatch.setenv(NATIVE_PURE_PYTHON_ENV, "1")
         for name in engine_names():
             assert isinstance(_engine(name), ComputeEngine)
 
@@ -83,8 +93,10 @@ class TestCapabilities:
         assert [row["name"] for row in rows] == list(engine_names())
         for row in rows:
             assert set(row) == {
-                "name", "window_form", "width_at_dim", "fused", "summary",
+                "name", "window_form", "width_at_dim", "fused",
+                "available", "unavailable_reason", "summary",
             }
+            assert row["available"] == (row["unavailable_reason"] is None)
 
     def test_word_layout_widths(self):
         by_name = {row["name"]: row for row in engine_capabilities(130)}
@@ -92,11 +104,11 @@ class TestCapabilities:
         assert by_name["packed"]["width_at_dim"] == packed_words(130) == 3
         assert by_name["packed-fused"]["width_at_dim"] == 3
 
-    def test_only_the_fused_engine_is_fused(self):
+    def test_fused_engines_are_the_fused_family(self):
         fused = {
             row["name"] for row in engine_capabilities() if row["fused"]
         }
-        assert fused == {"packed-fused"}
+        assert fused == {"packed-fused", "packed-native"}
 
 
 class TestWindowForms:

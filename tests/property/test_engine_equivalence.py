@@ -1,13 +1,21 @@
 """Property tests: every registered compute engine is bit-exact.
 
 The tentpole contract of :mod:`repro.hdc.engine`: the ``unpacked``,
-``packed`` and ``packed-fused`` engines produce identical prototypes,
-labels, Hamming distances and stream events on arbitrary inputs — over
-odd dimensions (padding bits in the top word), ragged stream chunking,
-mixed-engine session fleets sharing one grouped sweep, and mid-stream
-checkpoint/restore where the checkpoint is reopened on a *different*
-engine than the one that wrote it.
+``packed``, ``packed-fused`` and ``packed-native`` engines produce
+identical prototypes, labels, Hamming distances and stream events on
+arbitrary inputs — over odd dimensions (padding bits in the top word),
+ragged stream chunking, mixed-engine session fleets sharing one grouped
+sweep, and mid-stream checkpoint/restore where the checkpoint is
+reopened on a *different* engine than the one that wrote it.
+
+``packed-native`` participates on every host: with numba installed (the
+``native-engine`` CI job) its kernels run JIT-compiled and parallel,
+without it the module-scoped fixture below forces the pure-Python
+kernel twins — the exact same kernel code, so bit-exactness holds in
+both environments.
 """
+
+import os
 
 import numpy as np
 import pytest
@@ -20,9 +28,27 @@ from repro.core.detector import LaelapsDetector
 from repro.core.sessions import StreamSessionManager
 from repro.core.streaming import StreamingLaelaps
 from repro.hdc.backend import random_bits, unpack_bits
-from repro.hdc.engine import engine_names
+from repro.hdc.engine import PACKED_NATIVE_ENGINE, engine_names
+from repro.hdc.native import NATIVE_PURE_PYTHON_ENV
 
 ENGINES = engine_names()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _native_engine_constructible():
+    """Let ``packed-native`` build on numba-free hosts (pure-Python twins).
+
+    Module-scoped (not function-scoped) so hypothesis's
+    function_scoped_fixture health check stays quiet; restores the
+    environment on the way out.
+    """
+    previous = os.environ.get(NATIVE_PURE_PYTHON_ENV)
+    os.environ[NATIVE_PURE_PYTHON_ENV] = "1"
+    yield
+    if previous is None:
+        os.environ.pop(NATIVE_PURE_PYTHON_ENV, None)
+    else:
+        os.environ[NATIVE_PURE_PYTHON_ENV] = previous
 #: Dimensions straddling word boundaries: d % 64 in {63, 0, 1, ...}.
 ODD_DIMS = st.sampled_from([63, 64, 65, 127, 129, 200, 257])
 FS = 32.0  # 32-sample windows, 16-sample blocks: fast under hypothesis
@@ -249,34 +275,59 @@ class TestCheckpointAcrossEngines:
         because the persisted state (prototypes, symboliser tail, block
         counters as plain numpy data) is engine-independent.
         """
-        dim = 100
-        signal = _signal(np.random.default_rng(seed + 1), 5.0)
-        half = signal.shape[0] // 2
+        _roundtrip_checkpoint(engine_a, engine_b, seed, cut_chunk)
 
-        reference = StreamingLaelaps(
-            _fitted(engine_a, dim, np.random.default_rng(seed))
+
+def _roundtrip_checkpoint(
+    engine_a: str, engine_b: str, seed: int, cut_chunk: int, dim: int = 100
+) -> None:
+    """Checkpoint mid-stream on ``engine_a``, resume on ``engine_b``."""
+    signal = _signal(np.random.default_rng(seed + 1), 5.0)
+    half = signal.shape[0] // 2
+
+    reference = StreamingLaelaps(
+        _fitted(engine_a, dim, np.random.default_rng(seed))
+    )
+    expected = reference.run(signal, cut_chunk)
+
+    manager = StreamSessionManager()
+    manager.open(
+        "p0", _fitted(engine_a, dim, np.random.default_rng(seed))
+    )
+    events = []
+    for start in range(0, half, cut_chunk):
+        events.extend(
+            manager.push("p0", signal[start : start + cut_chunk])
         )
-        expected = reference.run(signal, cut_chunk)
+    payload = manager.pop_session("p0")
+    assert payload["model"]["engine"] == engine_a
 
-        manager = StreamSessionManager()
-        manager.open(
-            "p0", _fitted(engine_a, dim, np.random.default_rng(seed))
-        )
-        events = []
-        for start in range(0, half, cut_chunk):
-            events.extend(
-                manager.push("p0", signal[start : start + cut_chunk])
-            )
-        payload = manager.pop_session("p0")
-        assert payload["model"]["engine"] == engine_a
+    payload["model"]["engine"] = engine_b
+    resumed = StreamSessionManager()
+    stream = resumed.import_session("p0", payload)
+    assert stream.detector.backend == engine_b
+    consumed = stream.samples_seen
+    for lo in range(consumed, signal.shape[0], cut_chunk):
+        events.extend(resumed.push("p0", signal[lo : lo + cut_chunk]))
+    assert [
+        (e.time_s, e.label, e.delta, e.alarm) for e in events
+    ] == [(e.time_s, e.label, e.delta, e.alarm) for e in expected]
 
-        payload["model"]["engine"] = engine_b
-        resumed = StreamSessionManager()
-        stream = resumed.import_session("p0", payload)
-        assert stream.detector.backend == engine_b
-        consumed = stream.samples_seen
-        for lo in range(consumed, signal.shape[0], cut_chunk):
-            events.extend(resumed.push("p0", signal[lo : lo + cut_chunk]))
-        assert [
-            (e.time_s, e.label, e.delta, e.alarm) for e in events
-        ] == [(e.time_s, e.label, e.delta, e.alarm) for e in expected]
+
+class TestNativeCheckpointDirections:
+    """Explicit to/from ``packed-native`` restore coverage, both ways.
+
+    The hypothesis test above samples engine pairs; these pin the four
+    native-engine directions so every run exercises them, odd dim and
+    mid-window cut included.
+    """
+
+    @pytest.mark.parametrize("engine_a, engine_b", [
+        (PACKED_NATIVE_ENGINE, "packed-fused"),
+        ("packed-fused", PACKED_NATIVE_ENGINE),
+        (PACKED_NATIVE_ENGINE, "unpacked"),
+        ("unpacked", PACKED_NATIVE_ENGINE),
+    ])
+    def test_midstream_restore(self, engine_a, engine_b):
+        _roundtrip_checkpoint(engine_a, engine_b, seed=123, cut_chunk=29,
+                              dim=127)

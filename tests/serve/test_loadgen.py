@@ -6,7 +6,9 @@ from repro.evaluation.benchrec import read_record, write_record
 from repro.serve.gateway import TickStats
 from repro.serve.loadgen import (
     LoadConfig,
+    LoadGenerator,
     latency_summary_ms,
+    min_samples_for_percentile,
     nearest_rank_percentile,
     run_load_test,
 )
@@ -66,10 +68,71 @@ class TestLoadConfig:
         dict(rate=-0.5),
         dict(mode="carrier-pigeon"),
         dict(n_templates=0),
+        dict(native_threads=-1),
     ])
     def test_rejects_invalid_shapes(self, bad):
         with pytest.raises(ValueError):
             LoadConfig(**bad)
+
+    def test_native_threads_defaults_off(self):
+        assert LoadConfig().native_threads == 0
+
+
+class TestMinSamplesForPercentile:
+    def test_known_percentiles(self):
+        assert min_samples_for_percentile(50.0) == 2
+        assert min_samples_for_percentile(99.0) == 100
+        assert min_samples_for_percentile(99.9) == 1001
+
+    def test_consistent_with_nearest_rank(self):
+        """At exactly n samples, p maps strictly below the maximum."""
+        for p in (50.0, 90.0, 99.0, 99.9):
+            n = min_samples_for_percentile(p)
+            assert nearest_rank_percentile(range(1, n + 1), p) < n
+            assert nearest_rank_percentile(range(1, n), p) == n - 1
+
+    def test_rejects_out_of_range(self):
+        for p in (-1.0, 100.0):
+            with pytest.raises(ValueError, match=r"\[0, 100\)"):
+                min_samples_for_percentile(p)
+
+
+class TestNativeThreadPlumbing:
+    def test_run_pins_threads_before_spawning_workers(self, monkeypatch):
+        """A non-zero knob reaches configure_native_threads pre-fork."""
+        import repro.hdc.native as native_module
+
+        pinned = []
+        monkeypatch.setattr(
+            native_module, "configure_native_threads", pinned.append
+        )
+        config = LoadConfig(
+            n_sessions=2, n_ticks=2, warmup_ticks=1, dim=128,
+            n_workers=1, native_threads=2,
+        )
+        LoadGenerator(config).run()
+        assert pinned == [2]
+
+    def test_warns_when_ticks_cannot_resolve_the_tail(self):
+        config = LoadConfig(
+            n_sessions=2, n_ticks=2, warmup_ticks=0, dim=128, n_workers=1,
+        )
+        with pytest.warns(RuntimeWarning, match="p99_9"):
+            LoadGenerator(config).run()
+
+    def test_run_leaves_threads_alone_by_default(self, monkeypatch):
+        import repro.hdc.native as native_module
+
+        pinned = []
+        monkeypatch.setattr(
+            native_module, "configure_native_threads", pinned.append
+        )
+        config = LoadConfig(
+            n_sessions=2, n_ticks=2, warmup_ticks=1, dim=128,
+            n_workers=1,
+        )
+        LoadGenerator(config).run()
+        assert pinned == []
 
 
 class TestTickStats:
