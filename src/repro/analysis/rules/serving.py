@@ -52,6 +52,13 @@ _TICK_PATH_FILES = (
     "src/repro/serve/gateway.py",
 )
 
+#: Files running inside an asyncio event loop, where a blocking sleep
+#: freezes *every* connection the loop is serving, not just its own
+#: caller — ``await asyncio.sleep(...)`` is the sanctioned form.
+_ASYNC_FILES = (
+    "src/repro/serve/service.py",
+)
+
 
 def _mutable_value(node: ast.AST, aliases: dict[str, str]) -> str | None:
     """Describe why a module-level value is mutable, or ``None``."""
@@ -126,7 +133,11 @@ class ServeBlockingIoRule(Rule):
         "shard workers: one worker printing (stdout is line-buffered and "
         "interleaves across processes) or sleeping stalls every session "
         "on that tick.  Results travel as returned values and TickStats, "
-        "never as stdout; pacing sleeps belong to the load generator."
+        "never as stdout; pacing sleeps belong to the load generator.  "
+        "The asyncio service layer is stricter still: a blocking "
+        "time.sleep() on the event-loop thread freezes every connection "
+        "the service holds, including /healthz — await asyncio.sleep() "
+        "instead."
     )
     include = ("src/repro/serve/",)
 
@@ -156,6 +167,13 @@ class ServeBlockingIoRule(Rule):
                     "`time.sleep()` in the worker/gateway tick path "
                     "stalls the lockstep tick round for every session; "
                     "pacing belongs to serve/loadgen.py",
+                )
+            elif dotted == "time.sleep" and ctx.path in _ASYNC_FILES:
+                yield ctx.finding(
+                    self.code, call,
+                    "blocking `time.sleep()` on the service event loop "
+                    "freezes every connection (including /healthz); "
+                    "use `await asyncio.sleep()`",
                 )
 
 

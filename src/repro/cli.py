@@ -9,6 +9,7 @@ Usage::
     repro-laelaps backends
     repro-laelaps sessions [--patients 6] [--backend auto]
     repro-laelaps serve [--workers 4] [--mode process]
+    repro-laelaps serve-http [--port 0] [--checkpoint-dir DIR]
     repro-laelaps loadtest [--sessions 256] [--out BENCH_load_slo.json]
     repro-laelaps lint [PATHS ...] [--baseline FILE] [--format json]
 
@@ -269,6 +270,51 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_http(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.serve import ShardedStreamGateway
+    from repro.serve.gateway import FLEET_MANIFEST
+    from repro.serve.service import run_service
+
+    checkpoint_dir = (
+        Path(args.checkpoint_dir) if args.checkpoint_dir else None
+    )
+    if (
+        checkpoint_dir is not None
+        and (checkpoint_dir / FLEET_MANIFEST).exists()
+    ):
+        print(f"restoring fleet from checkpoint {checkpoint_dir} ...")
+        gateway = ShardedStreamGateway.restore(
+            checkpoint_dir, n_workers=args.workers, mode=args.mode
+        )
+    else:
+        gateway = ShardedStreamGateway(args.workers, mode=args.mode)
+        if args.patients:
+            print(
+                f"training {args.patients} demo patient models "
+                f"(d={args.dim}, {args.backend} backend) ..."
+            )
+            detectors, _ = _train_demo_fleet(
+                args.patients, args.seconds, args.dim, args.backend, 256.0
+            )
+            for patient_id, detector in detectors.items():
+                gateway.open(patient_id, detector)
+    print(
+        f"serving {len(gateway)} sessions on {args.workers} {args.mode} "
+        f"workers; GET /healthz and /metrics on the same port; "
+        "SIGTERM drains"
+        + (f" to a checkpoint in {checkpoint_dir}" if checkpoint_dir else "")
+        + " (bound address in the 'service listening' log line)"
+    )
+    return run_service(
+        gateway,
+        host=args.host,
+        port=args.port,
+        checkpoint_dir=checkpoint_dir,
+    )
+
+
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     from repro.evaluation.benchrec import (
         read_record,
@@ -286,6 +332,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         mode=args.mode,
         backend=args.backend,
         native_threads=args.native_threads,
+        transport=args.transport,
     )
     report = run_load_test(config, progress=print)
     metrics = report.metrics
@@ -442,6 +489,32 @@ def _args_serve(p: argparse.ArgumentParser) -> None:
                    help="compute engine of the demo detectors")
 
 
+def _args_serve_http(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (loopback by default)")
+    p.add_argument("--port", type=int, default=0,
+                   help="bind port (0 = ephemeral; the bound port is in "
+                        "the 'service listening' log line)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="shard worker pool size")
+    p.add_argument("--mode", choices=("inline", "process"),
+                   default="process",
+                   help="shard transport (inline = single process)")
+    p.add_argument("--checkpoint-dir", metavar="DIR",
+                   help="drain checkpoint target; restored from on start "
+                        "when it already holds a fleet manifest")
+    p.add_argument("--patients", type=int, default=0,
+                   help="pre-train this many demo patient sessions "
+                        "(0 = start empty; clients open sessions over "
+                        "the wire)")
+    p.add_argument("--seconds", type=float, default=120.0,
+                   help="synthetic recording length per demo patient")
+    p.add_argument("--dim", type=int, default=2_000)
+    p.add_argument("--backend", choices=backend_choices(),
+                   default="auto",
+                   help="compute engine of the demo detectors")
+
+
 def _args_loadtest(p: argparse.ArgumentParser) -> None:
     p.add_argument("--sessions", type=int, default=64,
                    help="concurrent patient sessions")
@@ -462,6 +535,10 @@ def _args_loadtest(p: argparse.ArgumentParser) -> None:
     p.add_argument("--native-threads", type=int, default=0,
                    help="packed-native kernel threads per worker "
                         "(REPRO_NATIVE_THREADS; 0 = engine default)")
+    p.add_argument("--transport", choices=("direct", "socket"),
+                   default="direct",
+                   help="tick path: in-process gateway calls, or the "
+                        "asyncio service over loopback TCP")
     p.add_argument("--out", metavar="PATH",
                    help="write the run as a benchrec JSON record")
     p.add_argument("--check", metavar="BASELINE",
@@ -510,6 +587,10 @@ COMMANDS: tuple[CommandSpec, ...] = (
     CommandSpec("serve",
                 "sharded multi-worker serving demo (checkpoint + rebalance)",
                 _cmd_serve, _args_serve),
+    CommandSpec("serve-http",
+                "network service over a gateway (/healthz, /metrics, "
+                "SIGTERM drain)",
+                _cmd_serve_http, _args_serve_http),
     CommandSpec("loadtest",
                 "load-test the sharded gateway (latency SLO harness)",
                 _cmd_loadtest, _args_loadtest),

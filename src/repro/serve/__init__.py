@@ -21,6 +21,14 @@ the road to fleet scale (see ``docs/serving.md``):
     sessions against a gateway and measures p50/p99/p99.9 tick latency,
     sustained throughput, backpressure onset and worker-loss recovery —
     the numbers behind the committed ``BENCH_*.json`` perf trajectory.
+``repro.serve.service``
+    The network front end: one asyncio TCP server speaking a
+    length-prefixed JSON data plane (open/push/close/checkpoint) and a
+    plain-HTTP ops plane (``GET /healthz``, ``GET /metrics``) over one
+    gateway, with graceful SIGTERM drain-to-checkpoint.
+``repro.serve.metrics``
+    Shared observability: the ``/metrics`` snapshot builder and the
+    structured JSON log formatter.
 """
 
 from repro.serve.gateway import (
@@ -36,11 +44,27 @@ from repro.serve.loadgen import (
     LoadReport,
     run_load_test,
 )
+from repro.serve.metrics import (
+    JsonLogFormatter,
+    gateway_metrics,
+    latency_histogram,
+    service_logger,
+)
+from repro.serve.service import (
+    LaelapsService,
+    ServiceClient,
+    ServiceError,
+    ServiceRunner,
+    http_get,
+    run_service,
+)
 from repro.serve.worker import (
     InlineShardWorker,
     ProcessShardWorker,
     ShardCommandHandler,
+    WorkerDiedError,
     WorkerError,
+    WorkerTimeoutError,
 )
 
 __all__ = [
@@ -54,8 +78,20 @@ __all__ = [
     "ProcessShardWorker",
     "ShardCommandHandler",
     "WorkerError",
+    "WorkerDiedError",
+    "WorkerTimeoutError",
     "LoadConfig",
     "LoadGenerator",
     "LoadReport",
     "run_load_test",
+    "LaelapsService",
+    "ServiceRunner",
+    "ServiceClient",
+    "ServiceError",
+    "run_service",
+    "http_get",
+    "JsonLogFormatter",
+    "gateway_metrics",
+    "latency_histogram",
+    "service_logger",
 ]

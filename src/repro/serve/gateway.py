@@ -48,7 +48,12 @@ from repro.core.persistence import (
 from repro.core.sessions import lockstep_ticks, validate_chunk
 from repro.core.streaming import StreamEvent
 from repro.serve.hashing import HashRing
-from repro.serve.worker import InlineShardWorker, ProcessShardWorker
+from repro.serve.worker import (
+    DEFAULT_POLL_TIMEOUT_S,
+    InlineShardWorker,
+    ProcessShardWorker,
+    WorkerError,
+)
 
 #: Name of the manifest file inside a fleet checkpoint directory.
 FLEET_MANIFEST = "fleet.json"
@@ -121,6 +126,11 @@ class ShardedStreamGateway:
             backpressure threshold.
         replicas: Virtual ring points per worker (see
             :class:`~repro.serve.hashing.HashRing`).
+        poll_timeout_s: Reply deadline of every process-worker command;
+            a silent worker raises a typed
+            :class:`~repro.serve.worker.WorkerDiedError` /
+            :class:`~repro.serve.worker.WorkerTimeoutError` instead of
+            blocking the gateway forever.
 
     The gateway owns each session's model from :meth:`open` onwards
     (the detector is exported by value to its shard), and supports use
@@ -135,6 +145,7 @@ class ShardedStreamGateway:
         mode: str = "inline",
         max_pending: int = 8,
         replicas: int = 64,
+        poll_timeout_s: float = DEFAULT_POLL_TIMEOUT_S,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -146,6 +157,7 @@ class ShardedStreamGateway:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self._mode = mode
         self._max_pending = max_pending
+        self._poll_timeout_s = poll_timeout_s
         self._workers: dict[str, InlineShardWorker | ProcessShardWorker] = {}
         self._ring = HashRing(replicas=replicas)
         self._routes: dict[str, str] = {}
@@ -210,6 +222,37 @@ class ShardedStreamGateway:
         self._route(session_id)
         return len(self._queues[session_id])
 
+    def ping_workers(self) -> dict[str, dict]:
+        """Liveness round-trip to every worker (the ``/healthz`` probe).
+
+        Each worker answers the ``ping`` shard command; a dead or hung
+        process worker surfaces as ``alive: False`` with its typed
+        error's message instead of an exception, so one sick shard
+        cannot take the health endpoint down with it.
+
+        Returns:
+            Per worker: ``{"alive": bool, "latency_s": float,
+            "error": str | None}``.
+        """
+        report: dict[str, dict] = {}
+        for worker_id, worker in list(self._workers.items()):
+            started = time.perf_counter()
+            try:
+                worker.request("ping", {})
+            except (WorkerError, RuntimeError, OSError) as exc:
+                report[worker_id] = {
+                    "alive": False,
+                    "latency_s": time.perf_counter() - started,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            else:
+                report[worker_id] = {
+                    "alive": True,
+                    "latency_s": time.perf_counter() - started,
+                    "error": None,
+                }
+        return report
+
     def _route(self, session_id: str) -> str:
         try:
             return self._routes[session_id]
@@ -228,7 +271,9 @@ class ShardedStreamGateway:
         """
         name = f"w{self._next_worker}"
         self._next_worker += 1
-        self._workers[name] = _WORKER_CLASSES[self._mode](name)
+        self._workers[name] = _WORKER_CLASSES[self._mode](
+            name, poll_timeout_s=self._poll_timeout_s
+        )
         self._ring.add(name)
         self._rebalance()
         return name

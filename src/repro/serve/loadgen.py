@@ -23,6 +23,13 @@ Ticks run as fast as the gateway allows by default; a ``rate`` > 0
 paces them at that multiple of real time (``rate=1`` is one 0.5 s tick
 per 0.5 s wall — the live deployment shape).
 
+``transport="socket"`` drives the same steady-state phase through the
+network front end (:mod:`repro.serve.service`) instead of calling the
+gateway in-process: chunks are serialised over a real TCP connection
+and latencies are read back via the service's ``stats`` op, so the
+measured numbers include the wire.  The backpressure and elasticity
+probes need direct gateway access and are skipped in socket mode.
+
 Results convert to the versioned benchmark-record schema
 (:mod:`repro.evaluation.benchrec`) via :meth:`LoadReport.record`, which
 is how ``benchmarks/bench_load_slo.py`` and ``repro loadtest`` write
@@ -137,6 +144,12 @@ class LoadConfig:
             ``packed-native`` engine (``REPRO_NATIVE_THREADS``),
             exported to the environment before workers spawn so
             N workers x M threads is explicit; 0 keeps the default.
+        transport: ``"direct"`` calls the gateway in-process (the
+            default, and what the committed baselines measure);
+            ``"socket"`` runs every tick through the asyncio service
+            over a loopback TCP connection, measuring the full network
+            data plane (backpressure/elasticity probes are skipped —
+            they need direct gateway access).
     """
 
     n_sessions: int = 64
@@ -155,6 +168,7 @@ class LoadConfig:
     seizure_rate_per_min: float = 2.0
     n_templates: int = 4
     native_threads: int = 0
+    transport: str = "direct"
 
     def __post_init__(self) -> None:
         if self.n_sessions < 1:
@@ -173,6 +187,10 @@ class LoadConfig:
         if self.native_threads < 0:
             raise ValueError(
                 f"native_threads must be >= 0, got {self.native_threads}"
+            )
+        if self.transport not in ("direct", "socket"):
+            raise ValueError(
+                f"transport must be direct or socket, got {self.transport!r}"
             )
 
     @property
@@ -246,6 +264,72 @@ def _train_templates(config: LoadConfig) -> list[LaelapsDetector]:
     return templates
 
 
+class _DirectTransport:
+    """In-process tick transport: the gateway called directly."""
+
+    def __init__(self, gateway: ShardedStreamGateway) -> None:
+        self.gateway = gateway
+
+    def push_many(self, chunks):
+        return self.gateway.push_many(chunks)
+
+    def stats_reset(self) -> None:
+        self.gateway.tick_stats.reset()
+
+    def latencies_s(self) -> list[float]:
+        return self.gateway.tick_stats.latencies_s
+
+    def windows(self) -> int:
+        return self.gateway.tick_stats.windows
+
+    def close(self) -> None:
+        self.gateway.shutdown()
+
+
+class _SocketTransport:
+    """Network tick transport: the asyncio service over loopback TCP.
+
+    Owns a :class:`~repro.serve.service.ServiceRunner` (which in turn
+    owns the gateway) and one :class:`~repro.serve.service.ServiceClient`
+    connection; tick latencies are read back through the service's
+    ``stats`` op, so the gateway-side numbers arrive over the same wire
+    the chunks travelled.
+    """
+
+    def __init__(self, gateway: ShardedStreamGateway) -> None:
+        import logging
+
+        from repro.serve.service import (
+            ServiceClient,
+            ServiceRunner,
+            service_logger,
+        )
+
+        # WARNING level: a load test would otherwise drown stderr in
+        # per-session open/close log lines.
+        self.runner = ServiceRunner(
+            gateway, logger=service_logger(level=logging.WARNING)
+        )
+        host, port = self.runner.start()
+        self.client = ServiceClient(host, port)
+
+    def push_many(self, chunks):
+        return self.client.push_many(chunks)
+
+    def stats_reset(self) -> None:
+        self.client.stats_reset()
+
+    def latencies_s(self) -> list[float]:
+        return self.client.stats()["latencies_s"]
+
+    def windows(self) -> int:
+        return self.client.stats()["windows"]
+
+    def close(self) -> None:
+        self.client.close()
+        self.runner.stop(drain=False)
+
+
 class LoadGenerator:
     """Drives one load-test run end to end (see module docstring)."""
 
@@ -306,21 +390,32 @@ class LoadGenerator:
         say(f"opening {config.n_sessions} sessions on {config.n_workers} "
             f"{config.mode} workers")
         gateway = self._build_gateway(templates)
+        if config.transport == "socket":
+            say("socket transport: ticks travel the network data plane")
+            transport = _SocketTransport(gateway)
+        else:
+            transport = _DirectTransport(gateway)
         sources = self._build_sources()
         try:
             metrics, latencies, counts = self._steady_state(
-                gateway, sources, say
+                transport, sources, say
             )
-            metrics["backpressure_onset_chunks"] = float(
-                self._probe_backpressure(gateway, sources)
-            )
-            metrics["max_pending"] = float(config.max_pending)
-            if config.n_workers >= 2:
-                metrics.update(
-                    self._probe_worker_cycle(gateway, sources, latencies, say)
+            if config.transport == "socket":
+                say("socket transport: backpressure/elasticity probes "
+                    "skipped (they need direct gateway access)")
+            else:
+                metrics["backpressure_onset_chunks"] = float(
+                    self._probe_backpressure(gateway, sources)
                 )
+                metrics["max_pending"] = float(config.max_pending)
+                if config.n_workers >= 2:
+                    metrics.update(
+                        self._probe_worker_cycle(
+                            gateway, sources, latencies, say
+                        )
+                    )
         finally:
-            gateway.shutdown()
+            transport.close()
         return LoadReport(
             config=config,
             engine=engine,
@@ -333,17 +428,17 @@ class LoadGenerator:
     # Phases
     # ------------------------------------------------------------------
 
-    def _tick(self, gateway, sources, counts=None) -> None:
+    def _tick(self, transport, sources, counts=None) -> None:
         chunks = {
             session_id: source.next_chunk(self.config.chunk_samples)
             for session_id, source in sources.items()
         }
-        events = gateway.push_many(chunks)
+        events = transport.push_many(chunks)
         if counts is not None:
             for session_id, session_events in events.items():
                 counts[session_id] += len(session_events)
 
-    def _steady_state(self, gateway, sources, say):
+    def _steady_state(self, transport, sources, say):
         config = self.config
         top_suffix, top_p = LATENCY_PERCENTILES[-1]
         needed = min_samples_for_percentile(top_p)
@@ -358,8 +453,8 @@ class LoadGenerator:
             )
         say(f"warmup: {config.warmup_ticks} ticks")
         for _ in range(config.warmup_ticks):
-            self._tick(gateway, sources)
-        gateway.tick_stats.reset()
+            self._tick(transport, sources)
+        transport.stats_reset()
         counts = {session_id: 0 for session_id in sources}
         interval = config.tick_s / config.rate if config.rate > 0 else 0.0
         say(f"measuring {config.n_ticks} ticks"
@@ -368,18 +463,18 @@ class LoadGenerator:
         started = time.perf_counter()
         for _ in range(config.n_ticks):
             tick_started = time.perf_counter()
-            self._tick(gateway, sources, counts)
+            self._tick(transport, sources, counts)
             if interval:
                 remaining = interval - (time.perf_counter() - tick_started)
                 if remaining > 0:
                     time.sleep(remaining)
         measured_s = time.perf_counter() - started
-        latencies = gateway.tick_stats.latencies_s
+        latencies = transport.latencies_s()
         metrics = latency_summary_ms(latencies)
         metrics["sessions"] = float(config.n_sessions)
         metrics["ticks"] = float(config.n_ticks)
         metrics["throughput_windows_per_s"] = (
-            gateway.tick_stats.windows / measured_s
+            transport.windows() / measured_s
         )
         metrics["ticks_per_s"] = config.n_ticks / measured_s
         metrics["dropped_sessions"] = float(

@@ -245,6 +245,27 @@ FIXTURES: dict[str, tuple[Fixture, ...]] = {
             "    time.sleep(0.1)\n",
             False,
         ),
+        # A blocking sleep on the service event loop freezes every
+        # connection the loop serves, /healthz included.
+        Fixture(
+            "src/repro/serve/service.py",
+            "import time\n"
+            "\n"
+            "\n"
+            "async def handle():\n"
+            "    time.sleep(0.1)\n",
+            True,
+        ),
+        # The awaitable form yields the loop; that is the sanctioned fix.
+        Fixture(
+            "src/repro/serve/service.py",
+            "import asyncio\n"
+            "\n"
+            "\n"
+            "async def handle():\n"
+            "    await asyncio.sleep(0.1)\n",
+            False,
+        ),
         Fixture(
             "src/repro/evaluation/x.py",
             "def report():\n"

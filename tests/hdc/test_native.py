@@ -54,6 +54,11 @@ from repro.hdc.spatial_packed import PackedSpatialEncoder
 from repro.hdc.temporal_packed import PackedTemporalEncoder
 from repro.signal.windows import WindowSpec
 
+# These tests always run (the pure-Python twins back them on
+# numba-free hosts); the marker lets the CI native-engine job select
+# exactly this surface with `-m native`.
+pytestmark = pytest.mark.native
+
 SPEC = WindowSpec.from_seconds(1.0, 0.5, 32.0)
 
 

@@ -1,0 +1,158 @@
+"""Fault injection against the process-worker transport.
+
+The invariant under test: a gateway never wedges on a silent shard.  A
+child killed mid-command surfaces as a typed
+:class:`~repro.serve.worker.WorkerDiedError` within the liveness
+interval, a child that hangs surfaces as
+:class:`~repro.serve.worker.WorkerTimeoutError` at the poll deadline,
+and in both cases the *other* shards keep serving their sessions.
+
+Hangs are injected by monkeypatching
+:class:`~repro.serve.worker.ShardCommandHandler` before the gateway
+forks its workers — fork inherits the patched class, so the child's
+serve loop runs the slow handler while the parent's test code never
+does.
+"""
+
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import ShardedStreamGateway
+from repro.serve.worker import (
+    ShardCommandHandler,
+    WorkerDiedError,
+    WorkerTimeoutError,
+)
+
+from tests.serve.conftest import build_fleet
+
+
+def _open_across_two_workers(gateway, detectors):
+    """Open sessions until both workers hold at least one; return map."""
+    for session_id, detector in detectors.items():
+        gateway.open(session_id, detector)
+    shard_map = {
+        worker_id: sessions
+        for worker_id, sessions in gateway.shard_map().items()
+        if sessions
+    }
+    assert len(shard_map) == 2, (
+        "fixture fleet no longer spreads across both workers; "
+        f"got {shard_map}"
+    )
+    return shard_map
+
+
+class TestDeadWorker:
+    def test_killed_child_raises_typed_error_fast(self):
+        detectors, signals = build_fleet(n_sessions=8, seconds=2.0)
+        with ShardedStreamGateway(2, mode="process") as gateway:
+            shard_map = _open_across_two_workers(gateway, detectors)
+            victim_id, survivor_id = sorted(shard_map)
+            gateway._workers[victim_id]._proc.kill()
+            gateway._workers[victim_id]._proc.join()
+
+            victim_session = shard_map[victim_id][0]
+            started = time.perf_counter()
+            with pytest.raises(WorkerDiedError) as excinfo:
+                gateway.push(
+                    victim_session, signals[victim_session][:64]
+                )
+            elapsed = time.perf_counter() - started
+            # Liveness polling, not the 30 s reply deadline, must be
+            # what surfaces the death.
+            assert elapsed < 5.0
+            assert excinfo.value.worker_id == victim_id
+            assert "died" in str(excinfo.value)
+
+            # The sick shard is quarantined, not the fleet: sessions on
+            # the surviving worker still serve, bit-exactly routed.
+            survivor_session = shard_map[survivor_id][0]
+            events = gateway.push(
+                survivor_session, signals[survivor_session][:64]
+            )
+            assert isinstance(events, list)
+
+            report = gateway.ping_workers()
+            assert report[victim_id]["alive"] is False
+            assert "WorkerDiedError" in report[victim_id]["error"]
+            assert report[survivor_id]["alive"] is True
+
+    def test_dead_worker_error_is_picklable(self):
+        # The error itself may travel through queues/pipes; a payload
+        # that cannot unpickle would reintroduce the hang it reports.
+        original = WorkerDiedError("w3", "died mid-command (exit code -9)")
+        clone = pickle.loads(pickle.dumps(original))
+        assert type(clone) is WorkerDiedError
+        assert clone.worker_id == "w3"
+        assert clone.detail == original.detail
+        assert str(clone) == str(original)
+
+    def test_timeout_error_is_picklable_subclass(self):
+        clone = pickle.loads(pickle.dumps(WorkerTimeoutError("w1", "hung")))
+        assert type(clone) is WorkerTimeoutError
+        assert isinstance(clone, WorkerDiedError)
+
+
+class TestHungWorker:
+    def test_hung_child_raises_timeout_within_deadline(self, monkeypatch):
+        detectors, signals = build_fleet(n_sessions=4, seconds=2.0)
+
+        def hang(self, payload):
+            time.sleep(2.0)
+            return {}
+
+        # Patch before the fork: the child's serve loop inherits the
+        # hanging handler, the parent never calls it.
+        monkeypatch.setattr(ShardCommandHandler, "_op_push_many", hang)
+        with ShardedStreamGateway(
+            1, mode="process", poll_timeout_s=0.25
+        ) as gateway:
+            session_id = next(iter(detectors))
+            gateway.open(session_id, detectors[session_id])
+            started = time.perf_counter()
+            with pytest.raises(WorkerTimeoutError) as excinfo:
+                gateway.push(session_id, signals[session_id][:64])
+            elapsed = time.perf_counter() - started
+            assert 0.25 <= elapsed < 2.0
+            assert excinfo.value.worker_id == "w0"
+            assert "no reply within 0.25 s" in str(excinfo.value)
+
+    def test_hung_worker_does_not_block_shutdown(self, monkeypatch):
+        def hang(self, payload):
+            time.sleep(2.0)
+            return {}
+
+        monkeypatch.setattr(ShardCommandHandler, "_op_push_many", hang)
+        detectors, signals = build_fleet(n_sessions=1, seconds=2.0)
+        gateway = ShardedStreamGateway(
+            1, mode="process", poll_timeout_s=0.2
+        )
+        session_id = next(iter(detectors))
+        gateway.open(session_id, detectors[session_id])
+        with pytest.raises(WorkerTimeoutError):
+            gateway.push(session_id, signals[session_id][:64])
+        started = time.perf_counter()
+        gateway.shutdown()  # bounded stop(): must not wait on the hang
+        assert time.perf_counter() - started < 15.0
+
+
+class TestPollTimeoutConfig:
+    def test_rejects_non_positive_timeout(self):
+        with pytest.raises(ValueError, match="poll_timeout_s"):
+            ShardedStreamGateway(1, mode="process", poll_timeout_s=0.0)
+
+    def test_inline_accepts_timeout_for_parity(self):
+        with ShardedStreamGateway(
+            1, mode="inline", poll_timeout_s=1.0
+        ) as gateway:
+            detectors, signals = build_fleet(n_sessions=1, seconds=2.0)
+            session_id = next(iter(detectors))
+            gateway.open(session_id, detectors[session_id])
+            events = gateway.push(
+                session_id, np.asarray(signals[session_id][:64])
+            )
+            assert isinstance(events, list)

@@ -69,6 +69,7 @@ class TestLoadConfig:
         dict(mode="carrier-pigeon"),
         dict(n_templates=0),
         dict(native_threads=-1),
+        dict(transport="smoke-signals"),
     ])
     def test_rejects_invalid_shapes(self, bad):
         with pytest.raises(ValueError):
@@ -211,4 +212,40 @@ class TestSmokeRun:
         loaded = read_record(write_record(record, tmp_path / "r.json"))
         assert loaded == record
         assert loaded.config["n_sessions"] == 6
+        assert loaded.config["transport"] == "direct"
         assert loaded.metrics == report.metrics
+
+
+@pytest.mark.service
+class TestSocketTransportRun:
+    """The same steady-state phase, driven through the network service."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        config = LoadConfig(
+            n_sessions=4, n_electrodes=6, dim=256, n_ticks=6,
+            warmup_ticks=1, n_workers=2, mode="inline", seed=3,
+            n_templates=2, transport="socket",
+        )
+        return run_load_test(config)
+
+    def test_every_session_served_over_the_wire(self, report):
+        assert report.dropped_sessions == 0
+        assert len(report.events_per_session) == 4
+
+    def test_latencies_come_from_the_gateway_stats_op(self, report):
+        assert len(report.latencies_s) == report.config.n_ticks
+        assert all(latency > 0 for latency in report.latencies_s)
+        assert report.metrics["throughput_windows_per_s"] > 0
+
+    def test_direct_only_probes_are_skipped(self, report):
+        assert "backpressure_onset_chunks" not in report.metrics
+        assert "worker_cycle_recovery_s" not in report.metrics
+
+    def test_transport_recorded_in_benchrec_config(self, report, tmp_path):
+        from repro.evaluation.benchrec import read_record, write_record
+
+        loaded = read_record(
+            write_record(report.record("load_socket"), tmp_path / "s.json")
+        )
+        assert loaded.config["transport"] == "socket"

@@ -1,0 +1,123 @@
+"""Unit tests for the serving observability surface (repro.serve.metrics)."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.serve import ShardedStreamGateway
+from repro.serve.metrics import (
+    LATENCY_BUCKET_BOUNDS_S,
+    JsonLogFormatter,
+    gateway_metrics,
+    latency_histogram,
+    service_logger,
+)
+from tests.serve.conftest import build_fleet
+
+
+class TestLatencyHistogram:
+    def test_cumulative_le_semantics(self):
+        hist = latency_histogram(
+            [0.5, 1.5, 2.5, 10.0], bounds_s=(1.0, 2.0, 3.0)
+        )
+        assert hist["bounds_s"] == [1.0, 2.0, 3.0]
+        assert hist["counts"] == [1, 2, 3]  # cumulative, 10.0 overflows
+        assert hist["count"] == 4
+        assert hist["sum_s"] == pytest.approx(14.5)
+
+    def test_boundary_sample_lands_in_its_bucket(self):
+        hist = latency_histogram([1.0], bounds_s=(1.0, 2.0))
+        assert hist["counts"] == [1, 1]
+
+    def test_empty_log(self):
+        hist = latency_histogram([])
+        assert hist["counts"] == [0] * len(LATENCY_BUCKET_BOUNDS_S)
+        assert hist["count"] == 0
+        assert hist["sum_s"] == 0.0
+
+    def test_counts_are_monotonic_on_default_bounds(self):
+        hist = latency_histogram([0.0003 * i for i in range(200)])
+        assert hist["counts"] == sorted(hist["counts"])
+
+    def test_rejects_unordered_bounds(self):
+        with pytest.raises(ValueError, match="ascend"):
+            latency_histogram([0.1], bounds_s=(2.0, 1.0))
+
+
+class TestGatewayMetrics:
+    def test_snapshot_mirrors_gateway_introspection(self):
+        detectors, signals = build_fleet(n_sessions=3, seconds=2.0)
+        with ShardedStreamGateway(2, mode="inline") as gateway:
+            for session_id, detector in detectors.items():
+                gateway.open(session_id, detector)
+            session_id = next(iter(signals))
+            gateway.push(session_id, signals[session_id][:64])
+            gateway.submit(session_id, signals[session_id][64:128])
+
+            metrics = gateway_metrics(gateway)
+            assert metrics["mode"] == "inline"
+            assert metrics["workers"] == 2
+            assert metrics["sessions_open"] == 3
+            assert metrics["shard_sessions"] == {
+                worker_id: len(sessions)
+                for worker_id, sessions in gateway.shard_map().items()
+            }
+            assert metrics["queue_depths"][session_id] == 1
+            assert metrics["queued_chunks_total"] == 1
+            assert metrics["ticks_total"] == 1
+            assert metrics["tick_latency"]["count"] == 1
+
+            # A scrape is read-only: a second snapshot is identical.
+            assert gateway_metrics(gateway) == metrics
+            assert json.dumps(metrics)  # JSON-serialisable as-is
+            gateway.drain()
+
+
+class TestJsonLogging:
+    def _logged_line(self, **extra) -> dict:
+        stream = io.StringIO()
+        logger = service_logger("test.serve.jsonlog", stream=stream)
+        logger.info("session opened", extra=extra)
+        return json.loads(stream.getvalue())
+
+    def test_one_json_object_per_line_with_extras(self):
+        payload = self._logged_line(session_id="p-1", worker="w0")
+        assert payload["event"] == "session opened"
+        assert payload["level"] == "info"
+        assert payload["logger"] == "test.serve.jsonlog"
+        assert payload["session_id"] == "p-1"
+        assert payload["worker"] == "w0"
+        assert isinstance(payload["ts"], float)
+
+    def test_non_json_extras_degrade_to_str_not_crash(self):
+        payload = self._logged_line(path=object())
+        assert isinstance(payload["path"], str)
+
+    def test_exception_info_is_captured(self):
+        stream = io.StringIO()
+        logger = service_logger("test.serve.jsonlog.exc", stream=stream)
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            logger.warning("request failed", exc_info=True)
+        payload = json.loads(stream.getvalue())
+        assert "ValueError: boom" in payload["exc"]
+
+    def test_service_logger_is_idempotent(self):
+        first = service_logger("test.serve.jsonlog.idem")
+        second = service_logger("test.serve.jsonlog.idem")
+        assert first is second
+        assert len(second.handlers) == 1
+        assert not second.propagate
+
+    def test_formatter_uses_record_created_not_a_new_clock(self):
+        # RPR002 territory: log timestamps must come from the record
+        # the logging framework stamped, not a second wall-clock read.
+        record = logging.LogRecord(
+            "n", logging.INFO, "p", 1, "msg", None, None
+        )
+        record.created = 123.4567891
+        payload = json.loads(JsonLogFormatter().format(record))
+        assert payload["ts"] == round(123.4567891, 6)
