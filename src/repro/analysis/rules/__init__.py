@@ -3,21 +3,22 @@
 Each module covers one contract family; each rule carries a stable
 ``RPR0xx`` code used by suppressions and the baseline:
 
-========  ==========================  ==================================
-Code      Name                        Module
-========  ==========================  ==================================
-RPR000    lint-hygiene (meta)         emitted by the engine itself
-RPR001    no-global-rng               :mod:`.determinism`
-RPR002    no-wall-clock               :mod:`.determinism`
-RPR003    engine-literal-outside-hdc  :mod:`.engine_boundary`
-RPR004    serve-module-state          :mod:`.serving`
-RPR005    serve-blocking-io           :mod:`.serving`
-RPR006    pipe-structured-errors      :mod:`.serving`
-RPR007    schema-write-read-symmetry  :mod:`.schema`
-RPR008    schema-fingerprint          :mod:`.schema`
-RPR009    packed-dtype-contract       :mod:`.dtype_contracts`
-RPR010    optional-dep-isolation      :mod:`.optional_deps`
-========  ==========================  ==================================
+========  ============================  ==================================
+Code      Name                          Module
+========  ============================  ==================================
+RPR000    lint-hygiene (meta)           emitted by the engine itself
+RPR001    no-global-rng                 :mod:`.determinism`
+RPR002    no-wall-clock                 :mod:`.determinism`
+RPR003    engine-literal-outside-hdc    :mod:`.engine_boundary`
+RPR004    serve-module-state            :mod:`.serving`
+RPR005    serve-blocking-io             :mod:`.serving`
+RPR006    pipe-structured-errors        :mod:`.serving`
+RPR007    schema-write-read-symmetry    :mod:`.schema`
+RPR008    schema-fingerprint            :mod:`.schema`
+RPR009    packed-dtype-contract         :mod:`.dtype_contracts`
+RPR010    optional-dep-isolation        :mod:`.optional_deps`
+RPR011    no-recording-materialization  :mod:`.outofcore`
+========  ============================  ==================================
 """
 
 from __future__ import annotations
@@ -36,6 +37,7 @@ from repro.analysis.rules import (  # noqa: F401  (import = register)
     dtype_contracts,
     engine_boundary,
     optional_deps,
+    outofcore,
     schema,
     serving,
 )

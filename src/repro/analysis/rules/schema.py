@@ -37,6 +37,7 @@ from repro.analysis.engine import FileContext, Finding, Rule, register_rule
 _SCHEMA_FILES = (
     "src/repro/core/persistence.py",
     "src/repro/evaluation/benchrec.py",
+    "src/repro/data/outofcore.py",
 )
 
 _WRITER_RE = re.compile(r"(^|_)(save|write|dump|emit)")

@@ -11,6 +11,7 @@ Usage::
     repro-laelaps serve [--workers 4] [--mode process]
     repro-laelaps serve-http [--port 0] [--checkpoint-dir DIR]
     repro-laelaps loadtest [--sessions 256] [--out BENCH_load_slo.json]
+    repro-laelaps synth --out DIR [--channels 64,1024] [--minutes 30]
     repro-laelaps lint [PATHS ...] [--baseline FILE] [--format json]
 
 (or ``python -m repro ...``).  ``repro --help`` lists every sub-command
@@ -440,6 +441,67 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return result.exit_code
 
 
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from repro.data.outofcore import (
+        CohortSpec,
+        MemberSpec,
+        default_member_plans,
+        generate_cohort,
+    )
+    from repro.data.synthetic import SynthesisParams
+
+    try:
+        channels = tuple(int(c) for c in args.channels.split(","))
+    except ValueError:
+        print(f"--channels must be a comma list of integers, got "
+              f"{args.channels!r}", file=sys.stderr)
+        return 2
+    duration_s = args.minutes * 60.0
+    try:
+        plans = default_member_plans(duration_s, args.seizures)
+        spec = CohortSpec(
+            args.name,
+            tuple(
+                MemberSpec(f"m{ch:04d}", ch, duration_s, plans, seed=ch)
+                for ch in channels
+            ),
+            params=SynthesisParams(fs=args.fs),
+            seed=args.seed,
+        )
+        start = time.perf_counter()
+        cohort = generate_cohort(spec, args.out,
+                                 chunk_samples=args.chunk_samples)
+    except ValueError as exc:
+        print(f"synth: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - start
+    rows = [
+        [
+            member.member_id,
+            member.n_electrodes,
+            f"{member.duration_s / 60.0:.1f}",
+            member.n_samples,
+            len(member.seizures),
+            f"{member.path.stat().st_size / 1e6:,.1f}",
+        ]
+        for member in cohort
+    ]
+    print(render_table(
+        ["Member", "Channels", "Minutes", "Samples", "Seizures", "MB"],
+        rows,
+        title=(
+            f"Cohort '{cohort.name}' @ {cohort.fs:g} Hz, seed "
+            f"{cohort.seed} -> {args.out}"
+        ),
+    ))
+    print(
+        f"\n{len(rows)} member(s) synthesised in {elapsed:.1f} s; the "
+        "manifest round-trips through load_cohort() — open members with "
+        "repro.data.outofcore.open_member()."
+    )
+    return 0
+
+
 def _args_table1(p: argparse.ArgumentParser) -> None:
     p.add_argument("--scale", type=float, default=720.0,
                    help="duration scale divisor (default 720: 1 h -> 5 s)")
@@ -546,6 +608,26 @@ def _args_loadtest(p: argparse.ArgumentParser) -> None:
                         "baseline (report-only deltas)")
 
 
+def _args_synth(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--out", required=True, metavar="DIR",
+                   help="cohort directory (memmap members + manifest.json)")
+    p.add_argument("--channels", default="64",
+                   help="comma list of electrode counts; one disk-backed "
+                        "member per count (default 64)")
+    p.add_argument("--minutes", type=float, default=10.0,
+                   help="recording length per member (default 10)")
+    p.add_argument("--seizures", type=int, default=2,
+                   help="evenly placed clinical seizures per member")
+    p.add_argument("--seed", type=int, default=0,
+                   help="cohort seed (members derive per-member streams)")
+    p.add_argument("--fs", type=float, default=256.0)
+    p.add_argument("--name", default="synth", help="cohort name")
+    p.add_argument("--chunk-samples", type=int, default=None,
+                   metavar="N",
+                   help="generation chunk size; output is bit-identical "
+                        "for every choice (default: ~32 MB of buffer)")
+
+
 def _args_lint(p: argparse.ArgumentParser) -> None:
     p.add_argument("paths", nargs="*", default=list(LINT_DEFAULT_PATHS),
                    help="files/directories to lint "
@@ -594,6 +676,9 @@ COMMANDS: tuple[CommandSpec, ...] = (
     CommandSpec("loadtest",
                 "load-test the sharded gateway (latency SLO harness)",
                 _cmd_loadtest, _args_loadtest),
+    CommandSpec("synth",
+                "synthesise a disk-backed (out-of-core) iEEG cohort",
+                _cmd_synth, _args_synth),
     CommandSpec("lint",
                 "run the project's static-analysis contract rules",
                 _cmd_lint, _args_lint),

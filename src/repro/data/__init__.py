@@ -15,7 +15,14 @@ provides the closest synthetic equivalent:
   counts, seizure counts, training-seizure counts) at a configurable
   duration scale;
 * :mod:`repro.data.splits` implements the chronological train/test
-  protocol of Sec. IV-B.
+  protocol of Sec. IV-B;
+* :mod:`repro.data.morphology` is the shared waveform vocabulary (pink
+  noise, ictal chirps, spikes) every synthesizer draws from, so batch,
+  clocked and disk-backed generation emit the same signals;
+* :mod:`repro.data.outofcore` synthesises disk-backed high-channel
+  cohorts chunk-by-chunk into memmap files with a versioned manifest —
+  generation is bit-identical for every chunk size, and members open as
+  O(1)-memory memmap views (``repro synth`` on the CLI).
 """
 
 from repro.data.cohort import (
@@ -31,6 +38,16 @@ from repro.data.failures import (
 )
 from repro.data.io import load_recording, save_recording
 from repro.data.model import Cohort, Patient, Recording, SeizureEvent
+from repro.data.outofcore import (
+    CohortSpec,
+    DiskCohort,
+    DiskMember,
+    MemberSpec,
+    default_member_plans,
+    generate_cohort,
+    load_cohort,
+    open_member,
+)
 from repro.data.splits import ChronologicalSplit, make_chronological_split
 from repro.data.swec import load_long_term_hours, load_short_term
 from repro.data.synthetic import (
@@ -60,4 +77,12 @@ __all__ = [
     "inject_artifact_bursts",
     "load_short_term",
     "load_long_term_hours",
+    "CohortSpec",
+    "MemberSpec",
+    "DiskCohort",
+    "DiskMember",
+    "default_member_plans",
+    "generate_cohort",
+    "load_cohort",
+    "open_member",
 ]

@@ -1,0 +1,736 @@
+"""Out-of-core synthetic cohorts: disk-backed generation, memmap access.
+
+The batch generator (:class:`repro.data.synthetic.SyntheticIEEGGenerator`)
+materialises a float64 ``(n_samples, n_electrodes)`` array — at modern
+BCI channel counts (256-2048 electrodes) a 30-minute recording no longer
+fits a sane RAM budget.  This module synthesises the same signal family
+*chunk by chunk* straight into ``np.memmap`` files, with a sidecar JSON
+manifest, so a 1024-channel member opens in O(1) memory and streams
+through the evaluation harness block by block
+(:func:`repro.evaluation.runner.predict_windows_streamed`).
+
+Two properties are load-bearing and property-tested:
+
+* **Determinism** — a :class:`CohortSpec` names its realisation
+  completely; regenerating with the same spec reproduces the files
+  byte for byte.
+* **Chunk invariance** — the generation chunk size is a *performance*
+  knob, not a semantic one: any chunking produces bit-identical files.
+  Background noise is drawn strictly per-sample from one generator
+  (row-major, so consecutive chunks consume consecutive draws) with the
+  pink-filter state carried across chunks and the fixed
+  :data:`repro.data.morphology.PINK_STEADY_STD` gain (per-recording
+  normalisation would couple every sample to every other); all event
+  parameters are drawn up front from a second generator; and every
+  event waveform is a pure function of the absolute sample index, so a
+  chunk overlapping an event renders exactly the samples it covers.
+
+Waveform morphology is shared with both in-RAM generators through
+:mod:`repro.data.morphology` — a seizure on disk carries the same
+electrographic signature as a seizure from ``generate()``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import morphology
+from repro.data.model import (
+    CLINICAL,
+    SUBTLE,
+    Patient,
+    Recording,
+    SeizureEvent,
+)
+from repro.data.synthetic import SeizurePlan, SynthesisParams
+
+#: Version gate of the on-disk manifest format.  Bump whenever the key
+#: set below changes (enforced by lint rule RPR008).
+_MANIFEST_VERSION = 1
+
+#: Sidecar file naming the cohort's every byte.
+MANIFEST_NAME = "manifest.json"
+
+#: Raw sample files are little-endian float32, C-order (time, channel).
+_MEMBER_DTYPE = np.dtype("<f4")
+
+#: Float budget of one generation chunk (white + pink + mixed buffers
+#: are each this big at most); the default chunk size derives from it
+#: so peak generation memory stays flat in the channel count.
+_CHUNK_FLOAT_BUDGET = 4_000_000
+
+
+# ----------------------------------------------------------------------
+# Specs
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MemberSpec:
+    """One cohort member: a single recording to synthesise.
+
+    Attributes:
+        member_id: Unique name; also the stem of the data file.
+        n_electrodes: Channel count.
+        duration_s: Recording length in seconds.
+        seizures: Seizure plans, chronological and non-overlapping.
+        seed: Member-level seed, combined with the cohort seed.
+    """
+
+    member_id: str
+    n_electrodes: int
+    duration_s: float
+    seizures: tuple[SeizurePlan, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.member_id or "/" in self.member_id:
+            raise ValueError(f"invalid member_id {self.member_id!r}")
+        if self.n_electrodes < 1:
+            raise ValueError(
+                f"n_electrodes must be >= 1, got {self.n_electrodes}"
+            )
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {self.duration_s}")
+        onsets = [plan.onset_s for plan in self.seizures]
+        if onsets != sorted(onsets):
+            raise ValueError("seizure plans must be chronological")
+        for plan in self.seizures:
+            if plan.offset_s > self.duration_s:
+                raise ValueError(
+                    f"seizure at {plan.onset_s} s exceeds the "
+                    f"{self.duration_s} s recording"
+                )
+
+
+@dataclass(frozen=True)
+class CohortSpec:
+    """A complete, regenerable description of a disk-backed cohort.
+
+    Attributes:
+        name: Cohort name, recorded in the manifest.
+        members: Member recordings to synthesise.
+        params: Signal properties (fs, confounder rates, morphology
+            amplitudes) shared by every member.
+        seed: Cohort-level seed; combined with each member's seed, so
+            two cohorts with different seeds are independent
+            realisations of the same members.
+    """
+
+    name: str
+    members: tuple[MemberSpec, ...]
+    params: SynthesisParams = field(default_factory=SynthesisParams)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("a cohort needs at least one member")
+        ids = [m.member_id for m in self.members]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate member ids in {ids}")
+
+    @property
+    def fs(self) -> float:
+        """Sampling rate in Hz (shared by every member)."""
+        return self.params.fs
+
+
+def default_member_plans(
+    duration_s: float, n_seizures: int, seizure_s: float = 20.0
+) -> tuple[SeizurePlan, ...]:
+    """Evenly-spaced clinical seizure plans for a generated member.
+
+    Onsets sit at ``duration * i / (n + 1)`` so the chronological split
+    always finds room for the interictal training segment before the
+    first onset and at least one test seizure after the training span.
+    """
+    if n_seizures < 1:
+        raise ValueError(f"n_seizures must be >= 1, got {n_seizures}")
+    onsets = [duration_s * (i + 1) / (n_seizures + 1)
+              for i in range(n_seizures)]
+    if onsets[0] < 45.0:
+        raise ValueError(
+            f"{duration_s} s is too short for {n_seizures} seizures: the "
+            f"first onset ({onsets[0]:.0f} s) leaves no room for the "
+            "interictal training segment"
+        )
+    if onsets[-1] + seizure_s > duration_s:
+        raise ValueError("seizures do not fit the recording")
+    return tuple(SeizurePlan(onset, seizure_s) for onset in onsets)
+
+
+# ----------------------------------------------------------------------
+# Planned events (pure functions of the absolute sample index)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _SpikeEvent:
+    start: int
+    wave: np.ndarray  # amplitude-scaled kernel
+    electrodes: np.ndarray
+
+    @property
+    def end(self) -> int:
+        return self.start + self.wave.size
+
+    def apply(self, chunk: np.ndarray, chunk_start: int) -> None:
+        lo = max(self.start, chunk_start)
+        hi = min(self.end, chunk_start + chunk.shape[0])
+        sl = slice(lo - self.start, hi - self.start)
+        rows = slice(lo - chunk_start, hi - chunk_start)
+        chunk[rows, self.electrodes] += self.wave[sl, None]
+
+
+@dataclass(frozen=True)
+class _RhythmEvent:
+    """A windowed rhythmic oscillation (burst/drift/PLD/clinical rhythm).
+
+    ``apply`` re-derives the event's full phase and envelope (pure
+    functions of the event length) and slices the overlap, so rendering
+    is independent of how the recording is chunked.
+    """
+
+    start: int
+    n: int
+    fs: float
+    freq_hz: float
+    chirp_to_hz: float | None
+    amplitude: float
+    asymmetry: float
+    ramp_samples: int
+    suppression: float
+    electrodes: np.ndarray
+    per_electrode: np.ndarray
+    phase_offsets: np.ndarray
+
+    @property
+    def end(self) -> int:
+        return self.start + self.n
+
+    def apply(self, chunk: np.ndarray, chunk_start: int) -> None:
+        lo = max(self.start, chunk_start)
+        hi = min(self.end, chunk_start + chunk.shape[0])
+        sl = slice(lo - self.start, hi - self.start)
+        rows = slice(lo - chunk_start, hi - chunk_start)
+        phase = morphology.chirp_phase(
+            self.n, self.fs, self.freq_hz, self.chirp_to_hz
+        )
+        envelope = morphology.rhythm_envelope(self.n, self.ramp_samples)
+        attenuation = (
+            1.0 - self.suppression * envelope[sl]
+            if self.suppression > 0 else None
+        )
+        for k, electrode in enumerate(self.electrodes):
+            wave = morphology.asymmetric_wave(
+                phase[sl] + self.phase_offsets[k], self.asymmetry
+            )
+            if attenuation is not None:
+                chunk[rows, electrode] *= attenuation
+            chunk[rows, electrode] += (
+                self.amplitude * self.per_electrode[k] * envelope[sl] * wave
+            )
+
+
+@dataclass(frozen=True)
+class _SubtleEvent:
+    """Background-amplitude band-passed noise event (marked, invisible).
+
+    The event's noise comes from its *own* seeded generator, re-created
+    on every ``apply`` — the event is bounded (seconds), so re-deriving
+    its full waveform per overlapping chunk costs little and keeps the
+    rendering chunk-invariant.
+    """
+
+    start: int
+    n: int
+    fs: float
+    scale: float
+    ramp: int
+    electrodes: np.ndarray
+    noise_seed: tuple[int, ...]
+
+    @property
+    def end(self) -> int:
+        return self.start + self.n
+
+    def apply(self, chunk: np.ndarray, chunk_start: int) -> None:
+        lo = max(self.start, chunk_start)
+        hi = min(self.end, chunk_start + chunk.shape[0])
+        sl = slice(lo - self.start, hi - self.start)
+        rows = slice(lo - chunk_start, hi - chunk_start)
+        rng = np.random.default_rng(list(self.noise_seed))
+        white = rng.standard_normal((self.n, self.electrodes.size))
+        shaped = morphology.bandpassed_noise(white, self.fs) * self.scale
+        envelope = morphology.taper_envelope(self.n, self.ramp)
+        chunk[rows, self.electrodes] += (
+            0.6 * shaped[sl] * envelope[sl, None]
+        )
+
+
+class _MemberSynthesizer:
+    """Sequential chunk renderer of one member (noise state + events)."""
+
+    def __init__(
+        self, member: MemberSpec, params: SynthesisParams, cohort_seed: int
+    ) -> None:
+        self.member = member
+        self.params = params
+        self.n_samples = int(round(member.duration_s * params.fs))
+        # Same split-generator discipline as ClockedEEGSource: noise is
+        # drawn strictly per-sample, event parameters strictly per-event,
+        # so the two sequences can never interleave.
+        self._noise_rng = np.random.default_rng(
+            [cohort_seed, member.seed, 0x5EED]
+        )
+        event_rng = np.random.default_rng([cohort_seed, member.seed, 0xE4E7])
+        # One extra filtered column: the shared spatial-mixing source.
+        self._zi = morphology.pink_filter_state(member.n_electrodes + 1)
+        self._events = _plan_events(
+            member, params, event_rng, self.n_samples
+        )
+        self._next = 0
+
+    def render(self, start: int, n: int) -> np.ndarray:
+        """Render float64 samples ``[start, start + n)`` (sequential)."""
+        if start != self._next:
+            raise ValueError(
+                f"chunks must be rendered sequentially: expected sample "
+                f"{self._next}, got {start}"
+            )
+        p = self.params
+        white = self._noise_rng.standard_normal(
+            (n, self.member.n_electrodes + 1)
+        )
+        pink, self._zi = morphology.pink_noise_stream(white, self._zi)
+        pink /= morphology.PINK_STEADY_STD
+        mix = p.spatial_mixing
+        data = np.sqrt(1.0 - mix**2) * pink[:, :-1] + mix * pink[:, -1:]
+        data *= p.background_std
+        hi = start + n
+        for event in self._events:
+            if event.start < hi and event.end > start:
+                event.apply(data, start)
+        self._next = hi
+        return data
+
+
+def _block_subset(
+    rng: np.random.Generator, n_electrodes: int, fraction: float
+) -> np.ndarray:
+    """A contiguous random block of electrodes (focal anatomy)."""
+    count = max(1, min(n_electrodes, int(round(fraction * n_electrodes))))
+    start = int(rng.integers(0, n_electrodes - count + 1))
+    return np.arange(start, start + count)
+
+
+def _event_times(
+    rng: np.random.Generator,
+    rate_per_hour: float,
+    duration_s: float,
+    keepout: list[tuple[float, float]],
+) -> list[float]:
+    """Poisson event times avoiding the seizure keep-out zones."""
+    expected = rate_per_hour * duration_s / 3600.0
+    count = int(rng.poisson(expected))
+    times = []
+    for _ in range(count):
+        t = float(rng.uniform(0.0, duration_s))
+        if any(lo <= t <= hi for lo, hi in keepout):
+            continue
+        times.append(t)
+    return sorted(times)
+
+
+def _rhythm(
+    rng: np.random.Generator,
+    fs: float,
+    start: int,
+    duration: int,
+    n_samples: int,
+    *,
+    freq_hz: float,
+    amplitude: float,
+    electrodes: np.ndarray,
+    asymmetry: float = 0.5,
+    chirp_to_hz: float | None = None,
+    ramp_s: float = 0.5,
+    suppression: float = 0.0,
+) -> _RhythmEvent | None:
+    n = min(start + duration, n_samples) - start
+    if n <= 1:
+        return None
+    return _RhythmEvent(
+        start=start,
+        n=n,
+        fs=fs,
+        freq_hz=freq_hz,
+        chirp_to_hz=chirp_to_hz,
+        amplitude=amplitude,
+        asymmetry=asymmetry,
+        ramp_samples=max(1, int(ramp_s * fs)),
+        suppression=suppression,
+        electrodes=electrodes,
+        per_electrode=rng.uniform(0.8, 1.2, size=electrodes.size),
+        phase_offsets=rng.uniform(0, 2 * np.pi, size=electrodes.size),
+    )
+
+
+def _plan_events(
+    member: MemberSpec,
+    p: SynthesisParams,
+    rng: np.random.Generator,
+    n_samples: int,
+) -> list:
+    """Draw every event of a member up front, in one fixed order.
+
+    Mirrors the batch generator's event families and parameter ranges
+    (:class:`repro.data.synthetic.SyntheticIEEGGenerator`), but as
+    placed events rather than in-place mutations of a full array.
+    """
+    events: list = []
+    duration_s = member.duration_s
+    fs = p.fs
+    onset_zone = _block_subset(rng, member.n_electrodes, p.ictal_focal_fraction)
+    margin = p.confounder_margin_s
+    keepout = [
+        (plan.onset_s - margin, plan.offset_s + margin)
+        for plan in member.seizures
+    ]
+
+    kernel = morphology.spike_kernel(fs)
+    for t in _event_times(rng, p.spike_rate_per_hour, duration_s, keepout):
+        at = int(t * fs)
+        if kernel is None or at + kernel.size >= n_samples:
+            continue
+        amplitude = p.background_std * rng.uniform(3.0, 6.0)
+        events.append(_SpikeEvent(
+            start=at,
+            wave=amplitude * kernel,
+            electrodes=_block_subset(rng, member.n_electrodes, 0.25),
+        ))
+
+    for t in _event_times(rng, p.burst_rate_per_hour, duration_s, keepout):
+        events.append(_rhythm(
+            rng, fs, int(t * fs), int(rng.uniform(1.0, 4.0) * fs), n_samples,
+            freq_hz=rng.uniform(8.0, 13.0),
+            amplitude=p.background_std * rng.uniform(1.2, 2.2),
+            electrodes=_block_subset(rng, member.n_electrodes, 0.25),
+        ))
+
+    for t in _event_times(rng, p.drift_rate_per_hour, duration_s, keepout):
+        events.append(_rhythm(
+            rng, fs, int(t * fs), int(rng.uniform(10.0, 40.0) * fs), n_samples,
+            freq_hz=rng.uniform(1.5, 3.5),
+            amplitude=p.background_std * p.drift_amplitude
+            * rng.uniform(0.8, 1.2),
+            electrodes=_block_subset(rng, member.n_electrodes, 0.6),
+            asymmetry=0.7,
+            ramp_s=2.0,
+            suppression=p.drift_suppression,
+        ))
+
+    for t in _event_times(rng, p.pld_rate_per_hour, duration_s, keepout):
+        take = max(1, int(0.6 * onset_zone.size))
+        lo = int(rng.integers(0, onset_zone.size - take + 1))
+        events.append(_rhythm(
+            rng, fs, int(t * fs), int(rng.uniform(8.0, 20.0) * fs), n_samples,
+            freq_hz=p.ictal_freq_hz * rng.uniform(0.5, 0.8),
+            amplitude=p.background_std * p.ictal_amplitude * p.pld_intensity
+            * rng.uniform(0.85, 1.15),
+            electrodes=onset_zone[lo:lo + take],
+            asymmetry=0.8,
+            ramp_s=1.5,
+            suppression=p.ictal_suppression * p.pld_intensity * 1.5,
+        ))
+
+    for idx, plan in enumerate(member.seizures):
+        onset = int(plan.onset_s * fs)
+        total = int(plan.duration_s * fs)
+        if plan.subtle:
+            end = min(onset + total, n_samples)
+            if end - onset <= 10:
+                continue
+            events.append(_SubtleEvent(
+                start=onset,
+                n=end - onset,
+                fs=fs,
+                scale=p.background_std * p.subtle_amplitude,
+                ramp=min((end - onset) // 4, int(2.0 * fs)),
+                electrodes=_block_subset(rng, member.n_electrodes, 0.2),
+                noise_seed=(member.seed, 0x5B71E, idx),
+            ))
+            continue
+        electrodes = onset_zone
+        if electrodes.size > 2 and rng.random() < 0.5:
+            electrodes = electrodes[:-1]
+        delays = np.sort(rng.uniform(0.0, p.ictal_ramp_s, size=electrodes.size))
+        freq = p.ictal_freq_hz * rng.uniform(0.95, 1.05)
+        for electrode, delay in zip(electrodes, delays):
+            events.append(_rhythm(
+                rng, fs, onset + int(delay * fs), total - int(delay * fs),
+                n_samples,
+                freq_hz=freq + 1.5,
+                chirp_to_hz=max(1.0, freq - 1.5),
+                amplitude=p.background_std * p.ictal_amplitude,
+                electrodes=np.array([electrode]),
+                asymmetry=0.85,
+                ramp_s=min(p.ictal_ramp_s, plan.duration_s / 3),
+                suppression=p.ictal_suppression,
+            ))
+
+    return [e for e in events if e is not None]
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+
+
+def _default_chunk(n_electrodes: int) -> int:
+    return max(1024, min(65536, _CHUNK_FLOAT_BUDGET // (n_electrodes + 1)))
+
+
+def generate_cohort(
+    spec: CohortSpec,
+    root: str | Path,
+    chunk_samples: int | None = None,
+) -> "DiskCohort":
+    """Synthesise every member of ``spec`` to disk under ``root``.
+
+    Args:
+        spec: The cohort to realise.
+        root: Target directory (created if missing).  One ``.f32``
+            memmap file per member plus :data:`MANIFEST_NAME`.
+        chunk_samples: Generation chunk size; purely a memory/speed
+            knob — the files are bit-identical for every value.
+            Defaults to a channel-scaled size keeping peak generation
+            memory flat.
+
+    Returns:
+        The :class:`DiskCohort` loaded back through
+        :func:`load_cohort`, so every generated file has already passed
+        manifest validation.
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    members_meta = []
+    for member in spec.members:
+        synth = _MemberSynthesizer(member, spec.params, spec.seed)
+        n_samples = synth.n_samples
+        step = chunk_samples or _default_chunk(member.n_electrodes)
+        if step < 1:
+            raise ValueError(f"chunk_samples must be >= 1, got {step}")
+        data_file = f"{member.member_id}.f32"
+        mm = np.memmap(
+            root / data_file,
+            dtype=_MEMBER_DTYPE,
+            mode="w+",
+            shape=(n_samples, member.n_electrodes),
+        )
+        for start in range(0, n_samples, step):
+            n = min(step, n_samples - start)
+            mm[start:start + n] = synth.render(start, n)
+        mm.flush()
+        del mm
+        members_meta.append((member, n_samples, data_file))
+    write_manifest(root / MANIFEST_NAME, spec, members_meta)
+    return load_cohort(root)
+
+
+def write_manifest(
+    path: Path,
+    spec: CohortSpec,
+    members_meta: list[tuple[MemberSpec, int, str]],
+) -> None:
+    """Write the sidecar manifest naming every byte of the cohort."""
+    payload = {
+        "schema_version": _MANIFEST_VERSION,
+        "name": spec.name,
+        "seed": spec.seed,
+        "fs": spec.params.fs,
+        "params": asdict(spec.params),
+        "members": [
+            {
+                "member_id": member.member_id,
+                "n_electrodes": member.n_electrodes,
+                "n_samples": n_samples,
+                "duration_s": member.duration_s,
+                "seed": member.seed,
+                "data_file": data_file,
+                "dtype": _MEMBER_DTYPE.str,
+                "seizures": [
+                    {
+                        "onset_s": plan.onset_s,
+                        "duration_s": plan.duration_s,
+                        "subtle": plan.subtle,
+                    }
+                    for plan in member.seizures
+                ],
+            }
+            for member, n_samples, data_file in members_meta
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DiskMember:
+    """A validated handle on one on-disk member (no data loaded)."""
+
+    member_id: str
+    path: Path
+    n_electrodes: int
+    n_samples: int
+    fs: float
+    seed: int
+    seizures: tuple[SeizureEvent, ...]
+
+    @property
+    def duration_s(self) -> float:
+        """Recording length in seconds."""
+        return self.n_samples / self.fs
+
+    def open(self) -> Recording:
+        """Open the member as a memmap-backed :class:`Recording`.
+
+        O(1) memory: the returned recording's ``data`` is a read-only
+        ``np.memmap``; slicing (``slice_time``) yields lazy views, and
+        pages are only faulted in as the evaluation actually reads them.
+        """
+        data = np.memmap(
+            self.path,
+            dtype=_MEMBER_DTYPE,
+            mode="r",
+            shape=(self.n_samples, self.n_electrodes),
+        )
+        return Recording(
+            data=data,
+            fs=self.fs,
+            seizures=self.seizures,
+            patient_id=self.member_id,
+        )
+
+    def patient(self, train_seizures: int = 1) -> Patient:
+        """Wrap the member as an evaluation :class:`Patient`."""
+        return Patient(
+            patient_id=self.member_id,
+            recording=self.open(),
+            train_seizures=train_seizures,
+        )
+
+
+@dataclass(frozen=True)
+class DiskCohort:
+    """A loaded cohort manifest: member handles, no sample data."""
+
+    root: Path
+    name: str
+    fs: float
+    seed: int
+    params: dict
+    members: tuple[DiskMember, ...]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self):
+        return iter(self.members)
+
+    def member(self, member_id: str) -> DiskMember:
+        """Look up a member by id."""
+        for member in self.members:
+            if member.member_id == member_id:
+                return member
+        raise KeyError(
+            f"no member {member_id!r} in cohort {self.name!r} "
+            f"(have {[m.member_id for m in self.members]})"
+        )
+
+
+def load_cohort(root: str | Path) -> DiskCohort:
+    """Load and validate a cohort manifest written by ``generate_cohort``.
+
+    Raises:
+        ValueError: On a missing/garbled manifest, a schema-version
+            mismatch, a missing data file, or a data file whose size
+            disagrees with the manifest's shape.
+    """
+    root = Path(root)
+    manifest_path = root / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise ValueError(f"no cohort manifest at {manifest_path}")
+    manifest = json.loads(manifest_path.read_text())
+    for key in ("schema_version", "name", "seed", "fs", "params", "members"):
+        if key not in manifest:
+            raise ValueError(f"manifest {manifest_path} lacks key {key!r}")
+    if manifest["schema_version"] != _MANIFEST_VERSION:
+        raise ValueError(
+            f"manifest schema v{manifest['schema_version']} != "
+            f"supported v{_MANIFEST_VERSION}"
+        )
+    members = []
+    for meta in manifest["members"]:
+        for key in ("member_id", "n_electrodes", "n_samples", "duration_s",
+                    "seed", "data_file", "dtype", "seizures"):
+            if key not in meta:
+                raise ValueError(
+                    f"member entry {meta.get('member_id', '?')!r} lacks "
+                    f"key {key!r}"
+                )
+        if np.dtype(meta["dtype"]) != _MEMBER_DTYPE:
+            raise ValueError(
+                f"member {meta['member_id']!r}: unsupported dtype "
+                f"{meta['dtype']!r}"
+            )
+        path = root / meta["data_file"]
+        if not path.is_file():
+            raise ValueError(f"member data file {path} is missing")
+        expected = (meta["n_samples"] * meta["n_electrodes"]
+                    * _MEMBER_DTYPE.itemsize)
+        actual = path.stat().st_size
+        if actual != expected:
+            raise ValueError(
+                f"member data file {path} is {actual} bytes, manifest "
+                f"says {expected} ({meta['n_samples']} x "
+                f"{meta['n_electrodes']} float32)"
+            )
+        seizures = tuple(
+            SeizureEvent(
+                onset_s=s["onset_s"],
+                offset_s=s["onset_s"] + s["duration_s"],
+                seizure_type=SUBTLE if s["subtle"] else CLINICAL,
+            )
+            for s in meta["seizures"]
+        )
+        members.append(DiskMember(
+            member_id=meta["member_id"],
+            path=path,
+            n_electrodes=meta["n_electrodes"],
+            n_samples=meta["n_samples"],
+            fs=manifest["fs"],
+            seed=meta["seed"],
+            seizures=seizures,
+        ))
+    return DiskCohort(
+        root=root,
+        name=manifest["name"],
+        fs=manifest["fs"],
+        seed=manifest["seed"],
+        params=manifest["params"],
+        members=tuple(members),
+    )
+
+
+def open_member(root: str | Path, member_id: str) -> Recording:
+    """Open one member of a cohort directory as a memmap Recording."""
+    return load_cohort(root).member(member_id).open()

@@ -25,17 +25,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy import signal as sps
 
+from repro.data import morphology
 from repro.data.model import CLINICAL, SUBTLE, Recording, SeizureEvent
 
-# Paul Kellet's economy pink-noise IIR approximation (1/f magnitude).
-_PINK_B = np.array([0.049922035, -0.095993537, 0.050612699, -0.004408786])
-_PINK_A = np.array([1.0, -2.494956002, 2.017265875, -0.522189400])
-# Steady-state output std of the Kellet filter for unit white input —
-# the fixed gain the *streaming* source applies instead of per-chunk
-# re-normalisation (which would make output depend on chunk boundaries).
-_PINK_STEADY_STD = 0.0861
+# Waveform shapes live in :mod:`repro.data.morphology`, shared with the
+# streaming source below and the disk-backed cohorts of
+# :mod:`repro.data.outofcore`.  The historic private aliases stay so
+# downstream pins of the filter constants keep resolving.
+_PINK_B = morphology.PINK_B
+_PINK_A = morphology.PINK_A
+_PINK_STEADY_STD = morphology.PINK_STEADY_STD
 
 
 @dataclass(frozen=True)
@@ -174,10 +174,7 @@ class SyntheticIEEGGenerator:
     def _pink_noise(self, n_samples: int, n_channels: int) -> np.ndarray:
         """Unit-variance pink noise, shape ``(n_samples, n_channels)``."""
         white = self._rng.standard_normal((n_samples, n_channels))
-        pink = sps.lfilter(_PINK_B, _PINK_A, white, axis=0)
-        std = pink.std(axis=0)
-        std[std == 0] = 1.0
-        return pink / std
+        return morphology.pink_noise_batch(white)
 
     def background(self, n_samples: int) -> np.ndarray:
         """Interictal background: spatially-mixed pink noise."""
@@ -202,12 +199,12 @@ class SyntheticIEEGGenerator:
     def _add_spike(self, data: np.ndarray, at_sample: int) -> None:
         """Biphasic epileptiform transient (~70 ms) on a small subset."""
         p = self.params
-        width = int(0.07 * p.fs)
-        if width < 4 or at_sample + width >= data.shape[0]:
+        kernel = morphology.spike_kernel(p.fs)
+        if kernel is None:
             return
-        t = np.linspace(-2.5, 2.5, width)
-        kernel = -t * np.exp(-(t**2))  # derivative-of-Gaussian shape
-        kernel /= np.abs(kernel).max()
+        width = kernel.size
+        if at_sample + width >= data.shape[0]:
+            return
         amplitude = p.background_std * self._rng.uniform(3.0, 6.0)
         electrodes = self._electrode_subset(0.25)
         data[at_sample : at_sample + width, electrodes] += (
@@ -244,19 +241,15 @@ class SyntheticIEEGGenerator:
         n = end - start
         if n <= 1:
             return
-        f_end = chirp_to_hz if chirp_to_hz is not None else freq_hz
-        inst_freq = np.linspace(freq_hz, f_end, n)
-        phase = 2 * np.pi * np.cumsum(inst_freq) / p.fs
-        ramp = max(1, int(ramp_s * p.fs))
-        envelope = np.ones(n)
-        envelope[: min(ramp, n)] = np.linspace(0.0, 1.0, min(ramp, n))
-        tail = min(max(1, int(0.2 * n)), n)
-        envelope[-tail:] *= np.linspace(1.0, 0.2, tail)
+        phase = morphology.chirp_phase(n, p.fs, freq_hz, chirp_to_hz)
+        envelope = morphology.rhythm_envelope(n, int(ramp_s * p.fs))
         per_electrode = self._rng.uniform(0.8, 1.2, size=electrodes.size)
         phase_offsets = self._rng.uniform(0, 2 * np.pi, size=electrodes.size)
         attenuation = 1.0 - suppression * envelope if suppression > 0 else None
         for k, electrode in enumerate(electrodes):
-            wave = sps.sawtooth(phase + phase_offsets[k], width=asymmetry)
+            wave = morphology.asymmetric_wave(
+                phase + phase_offsets[k], asymmetry
+            )
             if attenuation is not None:
                 data[start:end, electrode] *= attenuation
             data[start:end, electrode] += (
@@ -387,18 +380,12 @@ class SyntheticIEEGGenerator:
             return
         electrodes = self._electrode_subset(0.2)
         noise = self._rng.standard_normal((n, electrodes.size))
-        low = 4.0 / (p.fs / 2.0)
-        high = min(12.0 / (p.fs / 2.0), 0.99)
-        b, a = sps.butter(2, [low, high], btype="bandpass")
-        shaped = sps.lfilter(b, a, noise, axis=0)
-        std = shaped.std(axis=0)
-        std[std == 0] = 1.0
-        shaped = shaped / std * p.background_std * p.subtle_amplitude
-        envelope = np.ones(n)
+        shaped = (
+            morphology.bandpassed_noise(noise, p.fs)
+            * p.background_std * p.subtle_amplitude
+        )
         ramp = min(n // 4, int(2.0 * p.fs))
-        if ramp > 0:
-            envelope[:ramp] = np.linspace(0, 1, ramp)
-            envelope[-ramp:] = np.linspace(1, 0, ramp)
+        envelope = morphology.taper_envelope(n, ramp)
         data[onset:end, electrodes] += 0.6 * shaped * envelope[:, None]
 
     # ------------------------------------------------------------------
@@ -535,8 +522,7 @@ class ClockedEEGSource:
         # property that makes the stream chunking-invariant.
         self._noise_rng = np.random.default_rng([seed, 0x5EED])
         self._event_rng = np.random.default_rng([seed, 0xE4E7])
-        order = max(_PINK_A.size, _PINK_B.size) - 1
-        self._zi = np.zeros((order, n_electrodes))
+        self._zi = morphology.pink_filter_state(n_electrodes)
         count = max(1, min(n_electrodes,
                            int(round(focal_fraction * n_electrodes))))
         start = int(self._event_rng.integers(0, n_electrodes - count + 1))
@@ -587,15 +573,9 @@ class ClockedEEGSource:
         if lo >= hi:
             return None
         t = np.arange(lo, hi, dtype=np.float64) - onset
-        phase = 2 * np.pi * freq * t / self.fs
-        wave = sps.sawtooth(phase, width=0.85)
-        total = sz_end - onset
-        ramp = max(1, min(int(2.0 * self.fs), total // 3))
-        envelope = np.minimum(t / ramp, 1.0)
-        tail = total - int(0.2 * total)
-        fade = (total - t) / max(1, total - tail)
-        envelope = np.minimum(envelope, np.clip(fade, 0.0, 1.0))
-        return amp * envelope * wave
+        return morphology.ictal_stream_wave(
+            t, sz_end - onset, self.fs, freq, amp
+        )
 
     def next_chunk(self, n_samples: int) -> np.ndarray:
         """Emit the next ``n_samples`` of the live stream.
@@ -610,9 +590,7 @@ class ClockedEEGSource:
         white = self._noise_rng.standard_normal(
             (n_samples, self.n_electrodes)
         )
-        pink, self._zi = sps.lfilter(
-            _PINK_B, _PINK_A, white, axis=0, zi=self._zi
-        )
+        pink, self._zi = morphology.pink_noise_stream(white, self._zi)
         data = (self.background_std / _PINK_STEADY_STD) * pink
         # Activate every onset the chunk reaches, then add whatever part
         # of the active seizure overlaps this chunk.  The loop ends the

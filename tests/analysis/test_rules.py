@@ -491,6 +491,67 @@ FIXTURES: dict[str, tuple[Fixture, ...]] = {
             False,
         ),
     ),
+    # -- RPR011: no whole-recording materialisation out-of-core -------
+    "RPR011": (
+        # np.asarray on a recording's mapped buffer pulls it into RAM.
+        Fixture(
+            "src/repro/evaluation/runner.py",
+            "import numpy as np\n"
+            "\n"
+            "\n"
+            "def f(recording):\n"
+            "    return np.asarray(recording.data)\n",
+            True,
+        ),
+        # Copying constructors count even nested in an expression.
+        Fixture(
+            "src/repro/data/outofcore.py",
+            "import numpy as np\n"
+            "\n"
+            "\n"
+            "def f(rec):\n"
+            "    return np.ascontiguousarray(rec.data[:, ::2])\n",
+            True,
+        ),
+        # So do buffer-duplicating methods on the mapped view.
+        Fixture(
+            "src/repro/evaluation/runner.py",
+            "def f(recording):\n"
+            "    return recording.data.copy()\n",
+            True,
+        ),
+        # The sanctioned shape: slice the view, copy per chunk only.
+        Fixture(
+            "src/repro/data/outofcore.py",
+            "import numpy as np\n"
+            "\n"
+            "\n"
+            "def f(rec, start, n):\n"
+            "    chunk = rec.data[start:start + n]\n"
+            "    return np.abs(chunk).mean(axis=0)\n",
+            False,
+        ),
+        # Materialising something that is not a recording is fine.
+        Fixture(
+            "src/repro/data/outofcore.py",
+            "import numpy as np\n"
+            "\n"
+            "\n"
+            "def f(electrode):\n"
+            "    return np.array([electrode])\n",
+            False,
+        ),
+        # Out of scope: the in-memory batch modules may materialise.
+        Fixture(
+            "src/repro/data/synthetic.py",
+            "import numpy as np\n"
+            "\n"
+            "\n"
+            "def f(recording):\n"
+            "    return np.asarray(recording.data)\n",
+            False,
+        ),
+    ),
 }
 
 _ALL = [

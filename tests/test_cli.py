@@ -185,6 +185,54 @@ class TestLintCommand:
         assert "0 finding(s)" in out
 
 
+class TestSynthCommand:
+    def test_generates_a_loadable_cohort(self, capsys, tmp_path):
+        out_dir = tmp_path / "cohort"
+        code = main([
+            "synth", "--out", str(out_dir), "--channels", "4,8",
+            "--minutes", "2", "--seizures", "1", "--fs", "128",
+            "--seed", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "m0004" in out and "m0008" in out
+        assert "manifest" in out
+
+        from repro.data.outofcore import load_cohort
+
+        cohort = load_cohort(out_dir)
+        assert [m.n_electrodes for m in cohort] == [4, 8]
+        assert cohort.fs == 128.0 and cohort.seed == 5
+        assert all(len(m.seizures) == 1 for m in cohort)
+
+    def test_chunk_samples_is_not_semantic(self, capsys, tmp_path):
+        for chunk, sub in (("512", "a"), ("4096", "b")):
+            assert main([
+                "synth", "--out", str(tmp_path / sub), "--channels", "4",
+                "--minutes", "2", "--seizures", "1", "--fs", "128",
+                "--chunk-samples", chunk,
+            ]) == 0
+        capsys.readouterr()
+        a = (tmp_path / "a" / "m0004.f32").read_bytes()
+        b = (tmp_path / "b" / "m0004.f32").read_bytes()
+        assert a == b
+
+    def test_invalid_plan_exits_two(self, capsys, tmp_path):
+        code = main([
+            "synth", "--out", str(tmp_path / "c"), "--channels", "8",
+            "--minutes", "1", "--seizures", "3",
+        ])
+        assert code == 2
+        assert "too short" in capsys.readouterr().err
+
+    def test_malformed_channels_exits_two(self, capsys, tmp_path):
+        code = main([
+            "synth", "--out", str(tmp_path / "c"), "--channels", "8,x",
+        ])
+        assert code == 2
+        assert "--channels" in capsys.readouterr().err
+
+
 class TestArgumentErrors:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
